@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper figure (or an ablation) at a reduced
+scale.  Runs are expensive end-to-end pipelines, so each executes exactly
+once (``pedantic`` with one round); the interesting output is the shape of
+the result series, attached to ``benchmark.extra_info`` and printed in the
+benchmark table.  Run the full-scale study with
+``python -m repro.experiments`` (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

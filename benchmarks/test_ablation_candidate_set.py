@@ -1,0 +1,59 @@
+"""Ablation — growing DMT's algorithm candidate set A.
+
+The paper's A = {Nested-Loop, Cell-Based}.  The framework accepts any
+detector with a cost model; this ablation runs DMT with the extended set
+(adding the KD-tree and pivot extension detectors) and checks that
+(a) exactness is preserved regardless of the mix and (b) the plan's
+estimated cost never increases when more candidates are available.
+"""
+
+from repro.core import detect_outliers
+from repro.data import state_dataset
+from repro.experiments import EXPERIMENT_CLUSTER
+from repro.experiments.runs import sample_rate_for
+from repro.params import OutlierParams
+from repro.partitioning import DMTPartitioner
+
+PARAMS = OutlierParams(r=2.0, k=12)
+
+
+def test_extended_candidate_set(once, benchmark):
+    data = state_dataset("MA", n=25_000, seed=6)
+
+    def run_both():
+        results = {}
+        for label, candidates in [
+            ("paper", ("nested_loop", "cell_based")),
+            ("extended", ("nested_loop", "cell_based", "kdtree",
+                          "pivot")),
+        ]:
+            strategy = DMTPartitioner(candidates=candidates)
+            results[label] = detect_outliers(
+                data, PARAMS, strategy=strategy,
+                n_partitions=20, n_reducers=10,
+                cluster=EXPERIMENT_CLUSTER, n_buckets=256,
+                sample_rate=sample_rate_for(data.n), seed=2,
+            )
+        return results
+
+    results = once(run_both)
+    paper, extended = results["paper"], results["extended"]
+    assert paper.outlier_ids == extended.outlier_ids  # exact either way
+
+    def usage(result):
+        return result.run.detector_usage
+
+    benchmark.extra_info["paper_usage"] = usage(paper)
+    benchmark.extra_info["extended_usage"] = usage(extended)
+    benchmark.extra_info["paper_total_s"] = round(
+        paper.simulated_total_seconds, 4
+    )
+    benchmark.extra_info["extended_total_s"] = round(
+        extended.simulated_total_seconds, 4
+    )
+    # A superset of candidates can only lower the modeled plan cost.
+    paper_est = sum(p.est_cost for p in paper.run.plan.partitions)
+    extended_est = sum(
+        p.est_cost for p in extended.run.plan.partitions
+    )
+    assert extended_est <= paper_est * 1.0001

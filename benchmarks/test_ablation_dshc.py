@@ -1,0 +1,52 @@
+"""Ablation — DSHC density-similarity threshold (T_diff) sensitivity.
+
+T_diff controls how aggressively DSHC merges adjacent mini buckets: small
+values produce many density-homogeneous partitions (good algorithm fit,
+more supporting-area duplication); large values produce few heterogeneous
+partitions (less duplication, worse fit).  This ablation sweeps the
+threshold and records the resulting plan shape and end-to-end time.
+"""
+
+from repro.core import detect_outliers
+from repro.data import state_dataset
+from repro.dshc import DSHCConfig
+from repro.experiments import EXPERIMENT_CLUSTER
+from repro.experiments.runs import sample_rate_for
+from repro.params import OutlierParams
+from repro.partitioning import DMTPartitioner
+
+PARAMS = OutlierParams(r=2.0, k=12)
+T_DIFFS = (0.25, 0.5, 1.0, 2.0)
+
+
+def test_dshc_t_diff_sensitivity(once, benchmark):
+    data = state_dataset("MA", n=25_000, seed=4)
+
+    def sweep():
+        results = {}
+        for t_diff in T_DIFFS:
+            strategy = DMTPartitioner(
+                DSHCConfig(t_diff_fraction=t_diff)
+            )
+            results[t_diff] = detect_outliers(
+                data, PARAMS, strategy=strategy,
+                n_partitions=20, n_reducers=10,
+                cluster=EXPERIMENT_CLUSTER, n_buckets=256,
+                sample_rate=sample_rate_for(data.n), seed=2,
+            )
+        return results
+
+    results = once(sweep)
+    oracle = next(iter(results.values())).outlier_ids
+    partitions = {}
+    for t_diff, result in results.items():
+        assert result.outlier_ids == oracle, t_diff  # exactness always
+        partitions[t_diff] = result.run.plan.n_partitions
+        benchmark.extra_info[f"tdiff_{t_diff}"] = {
+            "partitions": result.run.plan.n_partitions,
+            "total_s": round(result.simulated_total_seconds, 4),
+            "imbalance": round(result.load_imbalance, 2),
+        }
+    # Looser thresholds merge more: partition count must not increase.
+    counts = [partitions[t] for t in T_DIFFS]
+    assert counts[0] >= counts[-1]

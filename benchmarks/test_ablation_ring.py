@@ -1,0 +1,37 @@
+"""Ablation — the paper's Cell-Based fallback vs. the ring-limited
+extension.
+
+Lemma 4.2 charges unresolved cells a *full* Nested-Loop pass, and the
+paper's empirical Fig. 5 confirms that behavior.  The ring-limited variant
+(our extension) starts from the guaranteed L1 count and scans only the L2
+ring — strictly fewer distance evaluations.  This ablation quantifies how
+much Lemma 4.2's cost structure depends on that implementation choice.
+"""
+
+from repro.data import density_dataset
+from repro.detectors import CellBasedDetector, CellBasedRingDetector
+from repro.params import OutlierParams
+
+PARAMS = OutlierParams(r=5.0, k=4)
+
+
+def test_ring_fallback_dominates_paper_fallback(once, benchmark):
+    # Mid-band density: the regime where the fallback actually runs.
+    data = density_dataset(6000, 0.06, seed=6)
+
+    def run_both():
+        paper = CellBasedDetector().detect_dataset(data, PARAMS)
+        ring = CellBasedRingDetector().detect_dataset(data, PARAMS)
+        return paper, ring
+
+    paper, ring = once(run_both)
+    assert set(paper.outlier_ids) == set(ring.outlier_ids)
+    benchmark.extra_info["paper_evals"] = paper.distance_evals
+    benchmark.extra_info["ring_evals"] = ring.distance_evals
+    benchmark.extra_info["savings_x"] = round(
+        paper.distance_evals / max(ring.distance_evals, 1), 1
+    )
+    # The ring variant must never evaluate more distances.
+    assert ring.distance_evals <= paper.distance_evals
+    # And at mid density the savings are substantial (>= 5x).
+    assert ring.distance_evals * 5 <= paper.distance_evals

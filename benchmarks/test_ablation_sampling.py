@@ -1,0 +1,47 @@
+"""Ablation — sampling rate sensitivity of plan quality (Sec. V-A).
+
+The pre-processing job estimates densities from a sample (the paper's
+default: 0.5%).  Too small a sample produces noisy mini-bucket counts and
+hence worse plans.  We sweep the rate and check that (a) exactness never
+depends on it and (b) plan quality (reduce makespan) is stable once the
+sample is reasonably sized.
+"""
+
+from repro.core import detect_outliers
+from repro.data import state_dataset
+from repro.experiments import EXPERIMENT_CLUSTER
+from repro.params import OutlierParams
+
+PARAMS = OutlierParams(r=2.0, k=12)
+RATES = (0.02, 0.1, 0.3)
+
+
+def test_sampling_rate_sensitivity(once, benchmark):
+    data = state_dataset("MA", n=25_000, seed=5)
+
+    def sweep():
+        return {
+            rate: detect_outliers(
+                data, PARAMS, strategy="CDriven",
+                n_partitions=20, n_reducers=10,
+                cluster=EXPERIMENT_CLUSTER, n_buckets=256,
+                sample_rate=rate, seed=2,
+            )
+            for rate in RATES
+        }
+
+    results = once(sweep)
+    oracle = next(iter(results.values())).outlier_ids
+    reduce_times = {}
+    for rate, result in results.items():
+        # Sampling affects only the PLAN, never correctness.
+        assert result.outlier_ids == oracle, rate
+        reduce_times[rate] = result.simulated_reduce_seconds
+        benchmark.extra_info[f"rate_{rate}"] = {
+            "reduce_s": round(result.simulated_reduce_seconds, 4),
+            "imbalance": round(result.load_imbalance, 2),
+        }
+    # A 15x larger sample shouldn't be wildly better than the mid rate —
+    # density estimation saturates quickly (why 0.5% suffices at paper
+    # scale).
+    assert reduce_times[0.3] < 3.0 * reduce_times[0.1]

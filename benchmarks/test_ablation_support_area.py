@@ -1,0 +1,47 @@
+"""Ablation — supporting-area single job vs. Domain's two-job verification.
+
+The supporting area (Sec. III-A) trades *data duplication* (support
+records in the shuffle) for a *single-pass* execution.  This ablation
+measures both sides of the trade on the same grid partitioning: uniSpace
+(with support) vs. Domain (without, plus a confirmation job).
+"""
+
+import numpy as np
+
+from repro.core import Dataset, OutlierParams
+from repro.experiments import EXPERIMENT_CLUSTER
+from repro.experiments.runs import run_combo
+
+
+def make_data(n=20_000, seed=3):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_points(rng.uniform(0, 120, size=(n, 2)))
+
+
+def test_support_area_tradeoff(once, benchmark):
+    data = make_data()
+    params = OutlierParams(r=2.0, k=8)
+
+    def run_both():
+        single = run_combo(data, params, "uniSpace", "nested_loop")
+        double = run_combo(data, params, "Domain", "nested_loop")
+        return single, double
+
+    single, double = once(run_both)
+    assert single.outlier_ids == double.outlier_ids
+
+    benchmark.extra_info["single_shuffle"] = (
+        single.run.total_shuffle_records()
+    )
+    benchmark.extra_info["double_shuffle"] = (
+        double.run.total_shuffle_records()
+    )
+    benchmark.extra_info["single_jobs"] = single.run.n_jobs
+    benchmark.extra_info["double_jobs"] = double.run.n_jobs
+
+    # The trade: support replication inflates the single-pass shuffle...
+    assert single.run.total_shuffle_records() > data.n
+    # ...but avoids the second job entirely.
+    assert single.run.n_jobs == 1
+    assert double.run.n_jobs == 2
+    assert single.job_startup_seconds < double.job_startup_seconds

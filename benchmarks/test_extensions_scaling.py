@@ -1,0 +1,74 @@
+"""Benchmarks for the generality extensions (DBSCAN, LOCI, kNN outliers).
+
+Each extension runs on the same supporting-area machinery as the main
+pipeline; these benchmarks record their runtime and assert their
+exactness contracts at benchmark scale.
+"""
+
+import numpy as np
+
+from repro.clustering import dbscan_reference, distributed_dbscan
+from repro.core import Dataset
+from repro.knn import distributed_knn_outliers, knn_outliers_reference
+from repro.loci import LOCIParams, distributed_loci, loci_reference
+
+
+def city_scene(n=6000, seed=0):
+    rng = np.random.default_rng(seed)
+    blobs = [
+        rng.normal(center, 1.2, size=(n // 4, 2))
+        for center in [(10, 10), (40, 15), (25, 40)]
+    ]
+    scatter = rng.uniform(0, 50, size=(n - 3 * (n // 4), 2))
+    return Dataset.from_points(np.vstack(blobs + [scatter]))
+
+
+def test_distributed_dbscan_scaling(once, benchmark):
+    data = city_scene()
+
+    def run():
+        return distributed_dbscan(
+            data, eps=1.5, min_pts=6, n_partitions=16, n_reducers=4
+        )
+
+    dist = once(run)
+    ref = dbscan_reference(data, eps=1.5, min_pts=6)
+    benchmark.extra_info["clusters"] = dist.n_clusters
+    benchmark.extra_info["noise"] = len(dist.noise_ids)
+    assert dist.n_clusters == ref.n_clusters
+    assert dist.core_ids == ref.core_ids
+    assert dist.noise_ids == ref.noise_ids
+
+
+def test_distributed_loci_scaling(once, benchmark):
+    data = city_scene(seed=1)
+    params = LOCIParams(radii=(3.0, 6.0))
+
+    def run():
+        return distributed_loci(
+            data, params, n_partitions=9, n_reducers=3
+        )
+
+    flagged = once(run)
+    benchmark.extra_info["flagged"] = len(flagged)
+    assert flagged == loci_reference(data, params)
+
+
+def test_distributed_knn_outliers_scaling(once, benchmark):
+    data = city_scene(seed=2)
+
+    def run():
+        return distributed_knn_outliers(
+            data, k=5, n=20, n_partitions=9, n_reducers=3
+        )
+
+    dist = once(run)
+    ref = knn_outliers_reference(data, k=5, n=20)
+    benchmark.extra_info["rounds"] = dist.rounds
+    benchmark.extra_info["top_distance"] = round(
+        dist.knn_distances[0], 3
+    )
+    np.testing.assert_allclose(
+        sorted(dist.knn_distances), sorted(ref.knn_distances)
+    )
+    assert dist.rounds <= 3

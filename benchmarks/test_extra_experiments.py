@@ -1,0 +1,31 @@
+"""Extension experiments: parameter sensitivity and reducer scaling."""
+
+from repro.experiments import extra
+
+
+def test_rk_sensitivity(once, benchmark):
+    result = once(extra.run_rk_sensitivity, scale=0.25, seed=0,
+                  r_values=(1.0, 2.0), k_values=(4, 20))
+    rows = {(r["r"], r["k"]): r for r in result["rows"]}
+    benchmark.extra_info["table"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v)
+         for k, v in r.items()}
+        for r in result["rows"]
+    ]
+    # Outlier count is monotone: decreasing in r, increasing in k.
+    assert rows[(1.0, 4)]["outliers"] >= rows[(2.0, 4)]["outliers"]
+    assert rows[(2.0, 20)]["outliers"] >= rows[(2.0, 4)]["outliers"]
+
+
+def test_reducer_scaling(once, benchmark):
+    result = once(extra.run_reducer_scaling, scale=0.25, seed=0,
+                  reducer_counts=(2, 8, 32))
+    rows = result["rows"]
+    benchmark.extra_info["table"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v)
+         for k, v in r.items()}
+        for r in rows
+    ]
+    # More reducers must not slow the reduce stage down meaningfully,
+    # and 16x the reducers should win by at least 2x.
+    assert rows[-1]["reduce_s"] < rows[0]["reduce_s"] / 2

@@ -1,0 +1,48 @@
+"""Figure 10 — per-stage execution breakdown of the overall approach.
+
+Paper: DMT's pre-processing is the most expensive stage bar (DSHC) and
+Domain/uniSpace pay none; map costs are nearly identical across
+approaches; DMT's reduce stage is up to 10x (synthetic) / 20x (TIGER)
+faster than the alternatives.
+"""
+
+from repro.experiments import fig10
+
+SCALE = 0.4
+
+
+def test_fig10_breakdown(once, benchmark):
+    result = once(fig10.run, scale=SCALE, seed=0)
+    rows_a = [r for r in result["rows"] if r["subfigure"] == "10a"]
+    rows_b = [r for r in result["rows"] if r["subfigure"] == "10b"]
+    benchmark.extra_info["table"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v)
+         for k, v in r.items()}
+        for r in result["rows"]
+    ]
+    by_a = {r["approach"]: r for r in rows_a}
+    by_b = {r["approach"]: r for r in rows_b}
+
+    # 10a: Domain and uniSpace pay no pre-processing; DMT pays the most.
+    assert by_a["Domain + Cell-Based"]["preprocess_s"] < 0.005
+    assert by_a["uniSpace + Cell-Based"]["preprocess_s"] < 0.005
+    assert by_a["DMT"]["preprocess_s"] > (
+        by_a["DDriven + Cell-Based"]["preprocess_s"]
+    )
+    # Map stage roughly equal for all approaches (within 5x).
+    maps = [r["map_s"] for r in rows_a if r["map_s"] > 0]
+    assert max(maps) < 5 * min(maps)
+    # DMT's reduce beats the naive baselines.
+    assert by_a["DMT"]["reduce_s"] < by_a["Domain + Cell-Based"]["reduce_s"]
+    assert by_a["DMT"]["reduce_s"] < (
+        by_a["uniSpace + Cell-Based"]["reduce_s"]
+    )
+
+    # 10b (TIGER skew): DMT's reduce stage beats both single-algorithm
+    # CDriven pipelines.
+    assert by_b["DMT"]["reduce_s"] <= 1.05 * (
+        by_b["CDriven + Nested-Loop"]["reduce_s"]
+    )
+    assert by_b["DMT"]["reduce_s"] <= 1.05 * (
+        by_b["CDriven + Cell-Based"]["reduce_s"]
+    )

@@ -1,0 +1,36 @@
+"""Figure 8 — partitioning scalability over the region hierarchy.
+
+Paper: CDriven is consistently the fastest and its margin over Domain /
+uniSpace grows with the dataset (17x over Domain at Planet scale).  We
+assert that at the largest region the naive strategies trail cost-driven
+partitioning and that the gap at Planet is at least the gap at MA.
+"""
+
+from repro.experiments import fig8
+
+SCALE = 0.4
+
+
+def test_fig8_scalability(once, benchmark):
+    result = once(
+        fig8.run, scale=SCALE, seed=0, detectors=("nested_loop",)
+    )
+    rows = {r["region"]: r for r in result["rows"]}
+    benchmark.extra_info["table"] = [
+        {k: (round(v, 3) if isinstance(v, float) else v)
+         for k, v in r.items()}
+        for r in result["rows"]
+    ]
+    planet = rows["Planet"]
+    ma = rows["MA"]
+    # Absolute ordering at the largest scale.
+    assert planet["Domain_s"] > planet["CDriven_s"]
+    assert planet["uniSpace_s"] > planet["CDriven_s"]
+    # The Domain gap grows with data size (paper: 17x at Planet).
+    gap_planet = planet["Domain_s"] / planet["CDriven_s"]
+    gap_ma = ma["Domain_s"] / ma["CDriven_s"]
+    benchmark.extra_info["domain_gap_MA"] = round(gap_ma, 2)
+    benchmark.extra_info["domain_gap_Planet"] = round(gap_planet, 2)
+    assert gap_planet > 1.2
+    # Cardinality grows 2x per level.
+    assert rows["Planet"]["n"] == 8 * rows["MA"]["n"]

@@ -1,0 +1,91 @@
+"""Extending the library: a custom partitioning strategy and the
+extension detector.
+
+The framework accepts any centralized detector (Sec. III-A: "any
+centralized algorithm can be applied independently on each partition") and
+any partitioning strategy.  This example:
+
+1. implements a striped partitioning strategy (vertical slabs of equal
+   width) as a ~20-line PartitioningStrategy subclass;
+2. runs it through the standard pipeline;
+3. swaps the reducer-side algorithm for the KD-tree extension detector,
+   growing the paper's algorithm candidate set A.
+
+Run:  python examples/custom_strategy.py
+"""
+
+import numpy as np
+
+import repro
+from repro.geometry import Rect
+from repro.partitioning import (
+    Partition,
+    PartitionPlan,
+    PartitioningStrategy,
+)
+
+
+class StripedPartitioner(PartitioningStrategy):
+    """Vertical slabs of equal width — simple, but density-oblivious."""
+
+    name = "Striped"
+    uses_support_area = True
+
+    def build_plan(self, runtime, input_data, request):
+        domain = request.domain
+        m = request.n_partitions
+        width = domain.widths[0] / m
+        partitions = [
+            Partition(
+                pid=i,
+                rect=Rect(
+                    (domain.low[0] + i * width, domain.low[1]),
+                    (
+                        domain.high[0]
+                        if i == m - 1
+                        else domain.low[0] + (i + 1) * width,
+                        domain.high[1],
+                    ),
+                ),
+            )
+            for i in range(m)
+        ]
+        return PartitionPlan(domain, partitions, strategy=self.name)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    data = repro.Dataset.from_points(
+        rng.uniform(0, 80, size=(6_000, 2)), "uniform"
+    )
+    params = repro.OutlierParams(r=2.5, k=6)
+    oracle = repro.brute_force_outliers(data, params)
+
+    for detector in ("nested_loop", "cell_based", "kdtree"):
+        result = repro.detect_outliers(
+            data,
+            params,
+            strategy=StripedPartitioner(),
+            detector=detector,
+            n_partitions=8,
+            n_reducers=4,
+            cluster=repro.ClusterConfig(nodes=4, replication=1),
+            sample_rate=0.2,
+        )
+        status = "exact" if result.outlier_ids == oracle else "WRONG"
+        print(
+            f"Striped + {detector:12s} -> {len(result.outlier_ids):4d} "
+            f"outliers [{status}]  "
+            f"reduce={result.simulated_reduce_seconds * 1000:.1f} ms"
+        )
+        assert result.outlier_ids == oracle
+
+    print(
+        "\nAny strategy producing a disjoint rectangular tiling plugs "
+        "into the exact\nsingle-pass framework; any Detector subclass can "
+        "join the candidate set."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Geospatial anomaly detection: comparing partitioning strategies.
+
+The paper's motivating workload: spatial records (OpenStreetMap-style
+building locations) whose density varies by orders of magnitude between
+city centers and open country.  This example detects isolated locations
+(possible data-entry errors or mis-geocoded records) and shows why naive
+partitioning falls over on such skew — the same comparison as the paper's
+Figures 7 and 9, at example scale.
+
+Run:  python examples/geospatial_anomalies.py
+"""
+
+import repro
+from repro.experiments import EXPERIMENT_CLUSTER, format_table
+
+
+def main() -> None:
+    # A "state extract": dense urban cores, mid-density sprawl, empty
+    # countryside (see repro.data.state_dataset for the construction).
+    data = repro.data.state_dataset("MA", n=30_000, seed=7)
+    params = repro.OutlierParams(r=2.0, k=12)
+    print(f"dataset: {data.name}, n={data.n}, "
+          f"avg density={data.density:.2f}")
+
+    rows = []
+    oracle = None
+    for strategy in ["Domain", "uniSpace", "DDriven", "CDriven", "DMT"]:
+        result = repro.detect_outliers(
+            data,
+            params,
+            strategy=strategy,
+            n_partitions=20,
+            n_reducers=10,
+            cluster=EXPERIMENT_CLUSTER,
+            n_buckets=256,
+            sample_rate=0.1,
+        )
+        if oracle is None:
+            oracle = result.outlier_ids
+        assert result.outlier_ids == oracle, "strategies must agree"
+        breakdown = result.breakdown()
+        rows.append([
+            strategy,
+            result.run.n_jobs,
+            f"{breakdown['preprocess'] * 1000:.1f}",
+            f"{breakdown['map'] * 1000:.1f}",
+            f"{breakdown['reduce'] * 1000:.1f}",
+            f"{result.simulated_total_seconds * 1000:.1f}",
+            f"{result.load_imbalance:.2f}",
+            str(result.run.detector_usage),
+        ])
+
+    print(f"\nisolated locations found: {len(oracle)} "
+          "(identical for every strategy — DOD is exact)\n")
+    print(format_table(
+        ["strategy", "jobs", "preprocess_ms", "map_ms", "reduce_ms",
+         "total_ms", "imbalance", "detectors"],
+        rows,
+    ))
+    print(
+        "\nNote how cardinality balancing (DDriven) does not equal cost "
+        "balancing (CDriven),\nhow the Domain baseline needs a second "
+        "job, and how DMT's density-homogeneous\npartitioning wins the "
+        "detection stage outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

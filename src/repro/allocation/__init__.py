@@ -1,0 +1,5 @@
+"""Partition-to-reducer allocation via multi-bin packing."""
+
+from .binpack import Allocation, allocate
+
+__all__ = ["Allocation", "allocate"]

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro generate --kind state --name MA -n 30000 -o data.csv
+    python -m repro detect data.csv -r 2.0 -k 12 --strategy DMT -o out.json
+    python -m repro plan data.csv -r 2.0 -k 12 --strategy DMT -o plan.json
+    python -m repro info data.csv
+
+CSV format: one point per line, ``x,y[,z...]``; an optional leading
+``id`` column is accepted with ``--with-ids``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from . import data as datagen
+from .core import Dataset, detect_outliers, resolve_strategy
+from .mapreduce import ClusterConfig, LocalRuntime
+from .params import OutlierParams
+from .partitioning import PlanRequest, save_plan
+
+__all__ = ["main"]
+
+
+def _load_dataset(path: str, with_ids: bool) -> Dataset:
+    raw = np.loadtxt(path, delimiter=",", ndmin=2)
+    if with_ids:
+        return Dataset(raw[:, 1:], raw[:, 0].astype(np.int64))
+    return Dataset.from_points(raw)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "state":
+        dataset = datagen.state_dataset(args.name, n=args.n,
+                                        seed=args.seed)
+    elif args.kind == "region":
+        dataset = datagen.region_dataset(args.name, base_n=args.n,
+                                         seed=args.seed)
+    elif args.kind == "tiger":
+        dataset = datagen.tiger_like(n=args.n, seed=args.seed)
+    elif args.kind == "uniform":
+        dataset = datagen.density_dataset(args.n, args.density,
+                                          seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.kind)
+    np.savetxt(args.output, dataset.points, delimiter=",", fmt="%.8g")
+    print(f"wrote {dataset.n} points to {args.output}")
+    return 0
+
+
+def _detect(args: argparse.Namespace):
+    dataset = _load_dataset(args.input, args.with_ids)
+    params = OutlierParams(r=args.r, k=args.k)
+    cluster = ClusterConfig(nodes=args.nodes)
+    return dataset, params, cluster
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    dataset, params, cluster = _detect(args)
+    result = detect_outliers(
+        dataset, params, strategy=args.strategy,
+        detector=args.detector, cluster=cluster, seed=args.seed,
+    )
+    report = {
+        "n_points": dataset.n,
+        "params": {"r": params.r, "k": params.k},
+        "strategy": result.strategy,
+        "outliers": sorted(result.outlier_ids),
+        "n_outliers": len(result.outlier_ids),
+        "detector_usage": result.run.detector_usage,
+        "breakdown_seconds": result.breakdown(),
+        "load_imbalance": result.load_imbalance,
+    }
+    text = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"{report['n_outliers']} outliers -> {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    dataset, params, cluster = _detect(args)
+    strategy = resolve_strategy(args.strategy)
+    runtime = LocalRuntime(cluster)
+    request = PlanRequest(
+        domain=dataset.bounds,
+        params=params,
+        n_partitions=args.partitions,
+        n_reducers=args.reducers,
+        n_buckets=min(1024, max(64, dataset.n // 20)),
+        sample_rate=min(0.5, max(0.005, 2000 / max(dataset.n, 1))),
+        seed=args.seed,
+    )
+    plan = strategy.timed_plan(
+        runtime, list(dataset.records()), request
+    )
+    save_plan(plan, args.output)
+    print(
+        f"{plan.n_partitions} partitions "
+        f"({plan.strategy}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.input, args.with_ids)
+    bounds = dataset.bounds
+    print(f"points:  {dataset.n}")
+    print(f"dims:    {dataset.ndim}")
+    print(f"bounds:  {list(bounds.low)} .. {list(bounds.high)}")
+    print(f"area:    {bounds.area:.6g}")
+    print(f"density: {dataset.density:.6g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-tactic distance-based outlier detection (DOD).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--kind", choices=["state", "region", "tiger",
+                                        "uniform"], default="state")
+    gen.add_argument("--name", default="MA",
+                     help="state/region name (state, region kinds)")
+    gen.add_argument("-n", type=int, default=30_000)
+    gen.add_argument("--density", type=float, default=1.0,
+                     help="points per unit area (uniform kind)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    def add_common(p):
+        p.add_argument("input", help="CSV of points")
+        p.add_argument("--with-ids", action="store_true",
+                       help="first CSV column is the point id")
+        p.add_argument("-r", type=float, required=True,
+                       help="distance threshold")
+        p.add_argument("-k", type=int, required=True,
+                       help="neighbor-count threshold")
+        p.add_argument("--strategy", default="DMT")
+        p.add_argument("--nodes", type=int, default=4)
+        p.add_argument("--seed", type=int, default=1)
+
+    det = sub.add_parser("detect", help="run the detection pipeline")
+    add_common(det)
+    det.add_argument("--detector", default="nested_loop")
+    det.add_argument("-o", "--output", help="write JSON report here")
+    det.set_defaults(func=_cmd_detect)
+
+    plan = sub.add_parser("plan", help="build and save a partition plan")
+    add_common(plan)
+    plan.add_argument("--partitions", type=int, default=16)
+    plan.add_argument("--reducers", type=int, default=8)
+    plan.add_argument("-o", "--output", required=True)
+    plan.set_defaults(func=_cmd_plan)
+
+    info = sub.add_parser("info", help="describe a CSV dataset")
+    info.add_argument("input")
+    info.add_argument("--with-ids", action="store_true")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Generality extension: density-based clustering on the DOD framework."""
+
+from .dbscan import DBSCANResult, dbscan_reference, distributed_dbscan
+
+__all__ = ["DBSCANResult", "dbscan_reference", "distributed_dbscan"]

@@ -1,0 +1,19 @@
+"""Core outlier semantics, the DOD framework, and the end-to-end pipeline."""
+
+from .dataset import Dataset
+from .framework import DetectionRun, DODFramework, DomainBaseline
+from .outliers import OutlierParams, brute_force_outliers, neighbor_counts
+from .pipeline import PipelineResult, detect_outliers, resolve_strategy
+
+__all__ = [
+    "Dataset",
+    "OutlierParams",
+    "brute_force_outliers",
+    "neighbor_counts",
+    "DODFramework",
+    "DomainBaseline",
+    "DetectionRun",
+    "PipelineResult",
+    "detect_outliers",
+    "resolve_strategy",
+]

@@ -1,0 +1,63 @@
+"""Distance-threshold outlier semantics (Knorr & Ng) and the exact oracle.
+
+Definition 2.2 of the paper: given a distance threshold ``r`` and a neighbor
+-count threshold ``k``, a point ``p`` is an outlier iff it has fewer than
+``k`` neighbors within distance ``r`` (the point itself is not its own
+neighbor, per Def. 2.1's "two points").
+
+:func:`brute_force_outliers` is the reference oracle every distributed
+strategy is validated against — DOD is an *exact* technique, so all
+strategy/detector combinations must reproduce the oracle's id set bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..params import OutlierParams
+from .dataset import Dataset
+
+__all__ = ["OutlierParams", "neighbor_counts", "brute_force_outliers"]
+
+
+def neighbor_counts(
+    queries: np.ndarray,
+    candidates: np.ndarray,
+    r: float,
+    exclude_self: bool = False,
+    block: int = 2048,
+) -> np.ndarray:
+    """Number of candidates within distance ``r`` of each query point.
+
+    ``exclude_self=True`` subtracts exact-zero-distance self matches, which
+    is correct when ``queries`` rows are also present in ``candidates``
+    (duplicate points at identical coordinates still count as neighbors of
+    each other, matching Def. 2.1).
+    """
+    queries = np.asarray(queries, dtype=float)
+    candidates = np.asarray(candidates, dtype=float)
+    counts = np.zeros(queries.shape[0], dtype=np.int64)
+    if candidates.shape[0] == 0:
+        return counts
+    r2 = r * r
+    for start in range(0, queries.shape[0], block):
+        q = queries[start:start + block]
+        d2 = np.sum((q[:, None, :] - candidates[None, :, :]) ** 2, axis=2)
+        within = d2 <= r2
+        counts[start:start + q.shape[0]] = within.sum(axis=1)
+    if exclude_self:
+        counts = counts - 1
+    return counts
+
+
+def brute_force_outliers(dataset: Dataset, params: OutlierParams) -> set[int]:
+    """The exact outlier id set by direct all-pairs computation.
+
+    O(n^2) and intended for validation at test scale, not production use.
+    """
+    counts = neighbor_counts(
+        dataset.points, dataset.points, params.r, exclude_self=True
+    )
+    mask = counts < params.k
+    return set(dataset.ids[mask].tolist())

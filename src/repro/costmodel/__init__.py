@@ -1,0 +1,42 @@
+"""Theoretical cost models (Lemmas 4.1, 4.2; Corollary 4.3)."""
+
+from .bucketwise import (
+    bucketwise_best_algorithm,
+    bucketwise_cost,
+    density_regimes,
+)
+
+from .models import (
+    CELL_WEIGHT,
+    INDEX_WEIGHT,
+    SCAN_FLOOR,
+    CostModel,
+    ball_volume,
+    cell_based_cost,
+    cell_based_ring_cost,
+    density,
+    estimate_cost,
+    expected_occupied_cells,
+    kdtree_cost,
+    nested_loop_cost,
+    select_algorithm,
+)
+
+__all__ = [
+    "bucketwise_best_algorithm",
+    "bucketwise_cost",
+    "density_regimes",
+    "CELL_WEIGHT",
+    "INDEX_WEIGHT",
+    "SCAN_FLOOR",
+    "CostModel",
+    "cell_based_ring_cost",
+    "expected_occupied_cells",
+    "ball_volume",
+    "cell_based_cost",
+    "density",
+    "estimate_cost",
+    "kdtree_cost",
+    "nested_loop_cost",
+    "select_algorithm",
+]

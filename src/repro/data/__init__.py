@@ -1,0 +1,43 @@
+"""Dataset generators (paper stand-ins) and I/O / preparation helpers."""
+
+from .io import (
+    load_csv,
+    normalize_minmax,
+    save_csv,
+    standardize,
+    subsample,
+)
+from .generators import (
+    REGION_SCALES,
+    STATE_DENSITIES,
+    clustered_mixture,
+    dense_sparse_pair,
+    density_dataset,
+    density_sweep,
+    distort_replicate,
+    gaussian_clusters,
+    region_dataset,
+    state_dataset,
+    tiger_like,
+    uniform,
+)
+
+__all__ = [
+    "load_csv",
+    "save_csv",
+    "normalize_minmax",
+    "standardize",
+    "subsample",
+    "uniform",
+    "gaussian_clusters",
+    "clustered_mixture",
+    "dense_sparse_pair",
+    "density_dataset",
+    "density_sweep",
+    "state_dataset",
+    "region_dataset",
+    "tiger_like",
+    "distort_replicate",
+    "STATE_DENSITIES",
+    "REGION_SCALES",
+]

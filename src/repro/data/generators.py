@@ -1,0 +1,363 @@
+"""Synthetic dataset generators standing in for the paper's data.
+
+The paper evaluates on TIGER (spatial census features), four OpenStreetMap
+state extracts of equal cardinality but very different density (OH sparse,
+MA medium, CA/NY very dense), a nested region hierarchy (MA ⊂ NE ⊂ US ⊂
+Planet) of growing size and skew, and a 2 TB distortion of OSM.  None of
+those can ship with a test suite, so this module generates point clouds
+with the *same controlled properties* — cardinality, average density,
+skew, and nesting — which are the only characteristics the experiments
+manipulate.  See DESIGN.md's substitution table.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dataset import Dataset
+from ..geometry import Rect
+
+__all__ = [
+    "uniform",
+    "gaussian_clusters",
+    "clustered_mixture",
+    "dense_sparse_pair",
+    "density_dataset",
+    "density_sweep",
+    "state_dataset",
+    "region_dataset",
+    "tiger_like",
+    "distort_replicate",
+    "STATE_DENSITIES",
+    "REGION_SCALES",
+]
+
+
+def uniform(
+    n: int, domain: Rect, seed: int = 0, name: str = "uniform"
+) -> Dataset:
+    """``n`` points uniform over ``domain``."""
+    rng = np.random.default_rng(seed)
+    low = np.asarray(domain.low)
+    high = np.asarray(domain.high)
+    points = rng.uniform(low, high, size=(n, domain.ndim))
+    return Dataset.from_points(points, name)
+
+
+def gaussian_clusters(
+    n: int,
+    centers: np.ndarray,
+    spreads: Sequence[float],
+    weights: Sequence[float] | None = None,
+    clip: Rect | None = None,
+    seed: int = 0,
+    name: str = "clusters",
+) -> Dataset:
+    """A Gaussian mixture with per-cluster isotropic spread.
+
+    Points falling outside ``clip`` (when given) are reflected back inside,
+    preserving cardinality without distorting local density much.
+    """
+    rng = np.random.default_rng(seed)
+    centers = np.asarray(centers, dtype=float)
+    n_clusters = centers.shape[0]
+    if weights is None:
+        weights = [1.0 / n_clusters] * n_clusters
+    weights = np.asarray(weights, dtype=float)
+    weights = weights / weights.sum()
+    assignments = rng.choice(n_clusters, size=n, p=weights)
+    points = np.empty((n, centers.shape[1]))
+    for c in range(n_clusters):
+        mask = assignments == c
+        count = int(mask.sum())
+        points[mask] = rng.normal(
+            centers[c], spreads[c], size=(count, centers.shape[1])
+        )
+    if clip is not None:
+        points = _reflect_into(points, clip)
+    return Dataset.from_points(points, name)
+
+
+def clustered_mixture(
+    n: int,
+    domain: Rect,
+    n_clusters: int,
+    cluster_fraction: float = 0.8,
+    spread_fraction: float = 0.05,
+    seed: int = 0,
+    name: str = "mixture",
+) -> Dataset:
+    """The workhorse skewed generator: uniform background + clusters.
+
+    ``cluster_fraction`` of the points concentrate in ``n_clusters``
+    Gaussian blobs whose spread is ``spread_fraction`` of the domain width;
+    the rest are uniform background — the "rare outliers" population.
+    """
+    rng = np.random.default_rng(seed)
+    n_clustered = int(n * cluster_fraction)
+    n_background = n - n_clustered
+    low = np.asarray(domain.low)
+    high = np.asarray(domain.high)
+    centers = rng.uniform(low, high, size=(n_clusters, domain.ndim))
+    width = float(np.min(high - low))
+    spreads = rng.uniform(
+        0.5 * spread_fraction, 1.5 * spread_fraction, size=n_clusters
+    ) * width
+    clustered = gaussian_clusters(
+        n_clustered, centers, spreads, clip=domain,
+        seed=rng.integers(2**31), name=name,
+    )
+    background = uniform(
+        n_background, domain, seed=int(rng.integers(2**31)), name=name
+    )
+    points = np.vstack([clustered.points, background.points])
+    return Dataset.from_points(points, name)
+
+
+# ----------------------------------------------------------------------
+# Fig. 4: the dense/sparse pair
+# ----------------------------------------------------------------------
+def dense_sparse_pair(
+    n: int = 10_000, density_ratio: float = 4.0, base_side: float = 100.0,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """Two equal-cardinality uniform datasets; the dense one covers a
+    domain ``density_ratio`` times smaller (the paper's D-Dense covers 1/4
+    the area of D-Sparse)."""
+    sparse_side = base_side * math.sqrt(density_ratio)
+    dense = uniform(
+        n, Rect((0.0, 0.0), (base_side, base_side)), seed, "D-Dense"
+    )
+    sparse = uniform(
+        n, Rect((0.0, 0.0), (sparse_side, sparse_side)), seed + 1,
+        "D-Sparse",
+    )
+    return dense, sparse
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: the density sweep
+# ----------------------------------------------------------------------
+def density_dataset(
+    n: int, density: float, ndim: int = 2, seed: int = 0,
+    name: str | None = None,
+) -> Dataset:
+    """A uniform dataset with exactly the requested cardinality/area
+    density (the Sec. IV density measure), achieved by sizing the domain."""
+    if density <= 0:
+        raise ValueError("density must be positive")
+    side = (n / density) ** (1.0 / ndim)
+    domain = Rect((0.0,) * ndim, (side,) * ndim)
+    return uniform(n, domain, seed, name or f"density-{density:g}")
+
+
+def density_sweep(
+    densities: Sequence[float], n: int = 10_000, seed: int = 0
+) -> list[Dataset]:
+    """One dataset per requested density, all with ``n`` points."""
+    return [
+        density_dataset(n, rho, seed=seed + i)
+        for i, rho in enumerate(densities)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 / 9a: the four state datasets
+# ----------------------------------------------------------------------
+#: Average density (points per unit area) for each state stand-in.  The
+#: ordering matches the paper: NY and CA very dense, MA in the middle,
+#: OH relatively sparse.  The spread is wide enough that, at the
+#: experiments' (r, k), OH sits in Lemma 4.2's unresolved band while CA
+#: and NY sit deep in the dense-pruned band.
+STATE_DENSITIES = {"OH": 0.8, "MA": 3.0, "CA": 20.0, "NY": 30.0}
+
+#: Composition of each state as (dense blobs, broad mid-density blobs,
+#: uniform background) point fractions.  Real map data mixes urban cores,
+#: suburbs, and empty land in state-specific proportions — this is what
+#: lets the multi-tactic optimizer assign different algorithms within one
+#: state, exactly as the paper observes ("there are still many relatively
+#: sparse partitions" even in dense datasets, Sec. VI-D).
+_STATE_PROFILES = {
+    "OH": (0.25, 0.55, 0.20),
+    "MA": (0.40, 0.40, 0.20),
+    "CA": (0.60, 0.25, 0.15),
+    "NY": (0.65, 0.20, 0.15),
+}
+
+#: Cluster counts: denser states are more urbanized (more, tighter blobs).
+_STATE_CLUSTERS = {"OH": 6, "MA": 10, "CA": 16, "NY": 20}
+
+#: Peak local density of the mid-density ("suburban") tier — chosen to sit
+#: inside Lemma 4.2's unresolved band for the experiments' (r, k), the
+#: regime where Nested-Loop beats Cell-Based.
+MID_LOCAL_DENSITY = 1.8
+
+
+def state_dataset(state: str, n: int = 30_000, seed: int = 0) -> Dataset:
+    """An equal-cardinality state extract with the state's density profile.
+
+    The four states share ``n`` (the paper's extracts are ~30M points
+    each); only the covered domain area and the composition of dense
+    cores / mid-density sprawl / sparse background differ.
+    """
+    try:
+        density = STATE_DENSITIES[state]
+    except KeyError:
+        raise ValueError(
+            f"unknown state {state!r}; known: {sorted(STATE_DENSITIES)}"
+        ) from None
+    side = math.sqrt(n / density)
+    domain = Rect((0.0, 0.0), (side, side))
+    rng = np.random.default_rng(seed + sum(ord(c) for c in state))
+    frac_dense, frac_mid, frac_bg = _STATE_PROFILES[state]
+    n_dense = int(n * frac_dense)
+    n_mid = int(n * frac_mid)
+    n_bg = n - n_dense - n_mid
+    n_blobs = _STATE_CLUSTERS[state]
+
+    # Urban cores: tight blobs, locally one to two orders of magnitude
+    # denser than the state average.
+    dense_centers = rng.uniform(0, side, size=(n_blobs, 2))
+    dense_spreads = rng.uniform(0.015, 0.035, size=n_blobs) * side
+    dense = gaussian_clusters(
+        n_dense, dense_centers, dense_spreads, clip=domain,
+        seed=int(rng.integers(2**31)), name=state,
+    )
+    # Suburban sprawl: broad blobs sized so their *local* density lands
+    # around MID_LOCAL_DENSITY regardless of the state average — the
+    # mid-density regions real maps have between cities and countryside.
+    mid_count = max(3, n_blobs // 2)
+    per_blob = max(1, n_mid // mid_count)
+    sigma_mid = math.sqrt(per_blob / (2.0 * math.pi * MID_LOCAL_DENSITY))
+    mid_centers = rng.uniform(0, side, size=(mid_count, 2))
+    mid_spreads = rng.uniform(0.85, 1.15, size=mid_count) * sigma_mid
+    mid = gaussian_clusters(
+        n_mid, mid_centers, mid_spreads, clip=domain,
+        seed=int(rng.integers(2**31)), name=state,
+    )
+    background = uniform(
+        n_bg, domain, seed=int(rng.integers(2**31)), name=state
+    )
+    points = np.vstack([dense.points, mid.points, background.points])
+    return Dataset.from_points(points, state)
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 / 9b: the nested region hierarchy
+# ----------------------------------------------------------------------
+#: Relative cardinality of each region (MA is the base unit; the paper
+#: grows 30M -> 4B, a 128x span; we keep the doubling structure).
+REGION_SCALES = {"MA": 1, "NE": 2, "US": 4, "Planet": 8}
+
+#: Tile order for the hierarchy: bigger regions append more state-like
+#: tiles, so they mix more distinct density profiles — "larger datasets
+#: tend to be more skewed ... not only many sparse partitions, but also
+#: many dense partitions" (Sec. VI-C).
+_REGION_TILE_ORDER = ("MA", "OH", "NY", "CA", "OH", "NY", "MA", "CA")
+
+
+def region_dataset(region: str, base_n: int = 10_000, seed: int = 0) -> Dataset:
+    """A region of the MA ⊂ NE ⊂ US ⊂ Planet hierarchy.
+
+    Construction: a row of state-like tiles laid side by side — the MA
+    region is one tile, NE two, US four, Planet eight — so every region is
+    structurally a prefix of the larger ones, cardinality doubles per
+    level, and the density diversity grows with region size.
+    """
+    try:
+        scale = REGION_SCALES[region]
+    except KeyError:
+        raise ValueError(
+            f"unknown region {region!r}; known: {sorted(REGION_SCALES)}"
+        ) from None
+    pieces = []
+    x_offset = 0.0
+    max_height = 0.0
+    for i in range(scale):
+        state = _REGION_TILE_ORDER[i]
+        tile = state_dataset(state, n=base_n, seed=seed + 101 * i)
+        shifted = tile.points + np.array([x_offset, 0.0])
+        pieces.append(shifted)
+        bounds = tile.bounds
+        x_offset += bounds.widths[0] * 1.02  # thin gap between tiles
+        max_height = max(max_height, bounds.widths[1])
+    points = np.vstack(pieces)
+    return Dataset.from_points(points, region)
+
+
+# ----------------------------------------------------------------------
+# Fig. 10b: TIGER-like road network data
+# ----------------------------------------------------------------------
+def tiger_like(
+    n: int = 30_000, n_roads: int = 40, side: float = 200.0, seed: int = 0
+) -> Dataset:
+    """Road-network-style points: dense strings along random segments plus
+    sparse background noise — the heavy linear skew of TIGER extracts."""
+    rng = np.random.default_rng(seed)
+    n_road_points = int(n * 0.85)
+    n_noise = n - n_road_points
+    starts = rng.uniform(0, side, size=(n_roads, 2))
+    angles = rng.uniform(0, 2 * math.pi, size=n_roads)
+    lengths = rng.uniform(0.2 * side, 0.8 * side, size=n_roads)
+    ends = starts + np.stack(
+        [lengths * np.cos(angles), lengths * np.sin(angles)], axis=1
+    )
+    road_of = rng.integers(0, n_roads, size=n_road_points)
+    t = rng.uniform(0, 1, size=n_road_points)[:, None]
+    points = starts[road_of] * (1 - t) + ends[road_of] * t
+    points += rng.normal(0, side / 400.0, size=points.shape)
+    noise = rng.uniform(0, side, size=(n_noise, 2))
+    all_points = np.clip(np.vstack([points, noise]), 0.0, side)
+    return Dataset.from_points(all_points, "TIGER-like")
+
+
+# ----------------------------------------------------------------------
+# Fig. 10a: the 2TB-style distortion tool
+# ----------------------------------------------------------------------
+def distort_replicate(
+    dataset: Dataset,
+    copies: int = 3,
+    magnitude: float = 0.01,
+    seed: int = 0,
+) -> Dataset:
+    """The paper's synthetic-scaling tool (Sec. VI-A): replicate each point
+    ``copies`` times with a random per-dimension alteration.
+
+    ``magnitude`` is the alteration scale as a fraction of the domain
+    width.  The original points are kept, so the result has
+    ``(copies + 1) * n`` points.
+    """
+    rng = np.random.default_rng(seed)
+    widths = np.asarray(dataset.bounds.widths)
+    blocks = [dataset.points]
+    for _ in range(copies):
+        jitter = rng.uniform(-1, 1, size=dataset.points.shape) * (
+            widths * magnitude
+        )
+        blocks.append(dataset.points + jitter)
+    return Dataset.from_points(
+        np.vstack(blocks), f"{dataset.name}-x{copies + 1}"
+    )
+
+
+# ----------------------------------------------------------------------
+def _reflect_into(points: np.ndarray, domain: Rect) -> np.ndarray:
+    """Reflect stray points back into the domain (repeatedly if needed)."""
+    low = np.asarray(domain.low)
+    high = np.asarray(domain.high)
+    span = high - low
+    out = points.copy()
+    for _ in range(8):
+        below = out < low
+        out = np.where(below, 2 * low - out, out)
+        above = out > high
+        out = np.where(above, 2 * high - out, out)
+        if not (below.any() or above.any()):
+            break
+    # Pathological strays (many spans away) just clamp.
+    return np.clip(out, low, high)

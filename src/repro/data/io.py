@@ -1,0 +1,94 @@
+"""Dataset I/O and preparation utilities.
+
+Real deployments read points from files and often need light preparation
+before distance thresholds are meaningful (per-dimension scales differ).
+These helpers cover the common cases without pulling in a dataframe
+dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import Dataset
+
+__all__ = [
+    "load_csv",
+    "save_csv",
+    "normalize_minmax",
+    "standardize",
+    "subsample",
+]
+
+
+def load_csv(
+    path: str,
+    with_ids: bool = False,
+    delimiter: str = ",",
+    name: str | None = None,
+) -> Dataset:
+    """Load a point-per-line CSV.
+
+    With ``with_ids`` the first column is taken as the integer point id;
+    otherwise ids are assigned ``0..n-1``.
+    """
+    raw = np.loadtxt(path, delimiter=delimiter, ndmin=2)
+    if raw.shape[1] < (2 if with_ids else 1):
+        raise ValueError(f"{path}: not enough columns")
+    if with_ids:
+        return Dataset(
+            raw[:, 1:], raw[:, 0].astype(np.int64), name or path
+        )
+    return Dataset.from_points(raw, name or path)
+
+
+def save_csv(
+    dataset: Dataset,
+    path: str,
+    with_ids: bool = False,
+    delimiter: str = ",",
+) -> None:
+    """Write a dataset in the format :func:`load_csv` reads."""
+    if with_ids:
+        table = np.hstack(
+            [dataset.ids[:, None].astype(float), dataset.points]
+        )
+    else:
+        table = dataset.points
+    np.savetxt(path, table, delimiter=delimiter, fmt="%.10g")
+
+
+def normalize_minmax(dataset: Dataset) -> Dataset:
+    """Rescale every dimension into [0, 1] (degenerate dims map to 0).
+
+    Distance thresholds then speak the same units in every dimension —
+    the usual preparation before a single ``r`` is chosen.
+    """
+    low = dataset.points.min(axis=0)
+    span = dataset.points.max(axis=0) - low
+    safe = np.where(span > 0, span, 1.0)
+    return Dataset(
+        (dataset.points - low) / safe, dataset.ids,
+        f"{dataset.name}-minmax",
+    )
+
+
+def standardize(dataset: Dataset) -> Dataset:
+    """Zero-mean, unit-variance per dimension (degenerate dims stay 0)."""
+    mean = dataset.points.mean(axis=0)
+    std = dataset.points.std(axis=0)
+    safe = np.where(std > 0, std, 1.0)
+    return Dataset(
+        (dataset.points - mean) / safe, dataset.ids,
+        f"{dataset.name}-std",
+    )
+
+
+def subsample(dataset: Dataset, n: int, seed: int = 0) -> Dataset:
+    """A uniform random subset of ``n`` points (ids preserved)."""
+    if n >= dataset.n:
+        return dataset
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(dataset.n, size=n, replace=False)
+    rows.sort()
+    return dataset.subset(rows, f"{dataset.name}-sub{n}")

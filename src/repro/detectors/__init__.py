@@ -1,0 +1,46 @@
+"""Centralized distance-threshold outlier detectors (the candidate set A)."""
+
+from .base import DetectionResult, Detector
+from .cell_based import (
+    CellBasedDetector,
+    CellBasedRingDetector,
+    candidate_radius,
+)
+from .kdtree import KDTreeDetector
+from .nested_loop import NestedLoopDetector
+from .pivot import PivotDetector, select_pivots_maxmin
+
+#: Registry used by algorithm plans: name -> constructor.
+DETECTOR_REGISTRY = {
+    NestedLoopDetector.name: NestedLoopDetector,
+    CellBasedDetector.name: CellBasedDetector,
+    CellBasedRingDetector.name: CellBasedRingDetector,
+    KDTreeDetector.name: KDTreeDetector,
+    PivotDetector.name: PivotDetector,
+}
+
+
+def make_detector(name: str, **kwargs) -> Detector:
+    """Instantiate a detector by registry name."""
+    try:
+        cls = DETECTOR_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown detector {name!r}; known: {sorted(DETECTOR_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Detector",
+    "DetectionResult",
+    "NestedLoopDetector",
+    "CellBasedDetector",
+    "CellBasedRingDetector",
+    "KDTreeDetector",
+    "PivotDetector",
+    "select_pivots_maxmin",
+    "candidate_radius",
+    "DETECTOR_REGISTRY",
+    "make_detector",
+]

@@ -1,0 +1,99 @@
+"""Common interface for centralized distance-threshold outlier detectors.
+
+A detector classifies the *core* points of one partition, using both core
+and *support* points (Sec. III-A) as potential neighbors.  Besides the
+outlier ids it reports its work in deterministic **cost units**:
+
+* ``distance_evals`` — point-to-point distance computations performed;
+* ``index_ops``     — per-point indexing operations (hashing into cells,
+  tree inserts), the "scanning and indexing" term of Lemma 4.2.
+
+The simulated cluster turns those units into per-reducer task costs, which
+is how the paper's wall-clock comparisons are reproduced deterministically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..params import CELL_WEIGHT, INDEX_WEIGHT, OutlierParams
+
+__all__ = ["DetectionResult", "Detector", "validate_partition_inputs"]
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of running a detector on one partition."""
+
+    outlier_ids: list[int]
+    distance_evals: int = 0
+    index_ops: int = 0
+    cell_ops: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def cost_units(self) -> float:
+        """Total deterministic work in distance-eval units.
+
+        Index and per-cell operations are converted with the calibration
+        weights of :mod:`repro.params`, keeping runtime accounting
+        consistent with the Sec. IV cost models that plan the work.
+        """
+        return float(
+            self.distance_evals
+            + INDEX_WEIGHT * self.index_ops
+            + CELL_WEIGHT * self.cell_ops
+        )
+
+
+def validate_partition_inputs(
+    core_points: np.ndarray,
+    core_ids: np.ndarray,
+    support_points: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize and sanity-check detector inputs."""
+    core_points = np.asarray(core_points, dtype=float)
+    core_ids = np.asarray(core_ids, dtype=np.int64)
+    support_points = np.asarray(support_points, dtype=float)
+    if core_points.ndim != 2:
+        raise ValueError("core_points must be (n, d)")
+    if core_ids.shape != (core_points.shape[0],):
+        raise ValueError("core_ids must align with core_points")
+    if support_points.size == 0:
+        support_points = np.empty((0, core_points.shape[1]))
+    if support_points.ndim != 2 or support_points.shape[1] != core_points.shape[1]:
+        raise ValueError("support_points must be (m, d) with matching d")
+    return core_points, core_ids, support_points
+
+
+class Detector(abc.ABC):
+    """A centralized detection algorithm, applied per partition."""
+
+    #: Short identifier used in algorithm plans ("nested_loop", ...).
+    name: str = "detector"
+
+    @abc.abstractmethod
+    def detect(
+        self,
+        core_points: np.ndarray,
+        core_ids: np.ndarray,
+        support_points: np.ndarray,
+        params: OutlierParams,
+    ) -> DetectionResult:
+        """Classify the core points of one partition.
+
+        ``support_points`` are neighbor candidates only; they are never
+        classified (each point is core in exactly one partition).
+        """
+
+    def detect_dataset(self, dataset, params: OutlierParams) -> DetectionResult:
+        """Convenience: run on a whole dataset with no support points."""
+        return self.detect(
+            dataset.points,
+            dataset.ids,
+            np.empty((0, dataset.ndim)),
+            params,
+        )

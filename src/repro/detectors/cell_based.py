@@ -1,0 +1,263 @@
+"""The Cell-Based detector (Knorr & Ng [3]; Sec. IV-B of the paper).
+
+The algorithm hashes points into a uniform grid of side ``r / (2 sqrt(d))``
+so that
+
+* any two points in the same cell or in cells at Chebyshev distance 1
+  (layer **L1**) are guaranteed to be within ``r`` of each other, and
+* any two points in cells at Chebyshev distance greater than
+  ``floor(2 sqrt(d)) + 1`` are guaranteed to be farther than ``r`` apart.
+
+This yields the structure of Lemma 4.2:
+
+1. if ``count(C ∪ L1) - 1 >= k`` every core point of ``C`` is an inlier;
+2. if ``count(C ∪ L1 ∪ L2) - 1 < k`` every core point of ``C`` is an
+   outlier (L2 = the remaining candidate ring);
+3. otherwise the points of ``C`` "execute a Nested-Loop algorithm, in
+   addition to the indexing costs of the entire dataset" — the paper's
+   exact wording, and exactly what :class:`CellBasedDetector` does.
+
+In 2-d the layers are the 3x3 and 7x7 stencils of the paper (9 and 49
+cells).  Cells are kept in a sparse hash map, so sparse domains do not
+allocate dense grids.
+
+:class:`CellBasedRingDetector` is a beyond-the-paper extension: instead of
+a full Nested-Loop pass, unresolved points start from their guaranteed L1
+count and scan only the L2 ring.  It dominates the paper's variant at
+every density — which is itself an interesting ablation against Lemma 4.2
+(see ``benchmarks/test_ablation_ring.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import defaultdict
+
+import numpy as np
+
+from ..params import OutlierParams
+from ._scan import random_scan_counts
+from .base import DetectionResult, Detector, validate_partition_inputs
+
+__all__ = ["CellBasedDetector", "CellBasedRingDetector", "candidate_radius"]
+
+
+def candidate_radius(ndim: int) -> int:
+    """Largest Chebyshev cell distance that can still hold neighbors.
+
+    With side ``l = r / (2 sqrt(d))``, cells at Chebyshev distance ``c``
+    contain points no closer than ``(c - 1) * l``; neighbors are possible
+    while ``(c - 1) * l <= r``, i.e. ``c <= 2 sqrt(d) + 1``.
+    """
+    return int(math.floor(2.0 * math.sqrt(ndim))) + 1
+
+
+class _CellIndex:
+    """Sparse cell hash over a point set (the Lemma 4.2 indexing phase)."""
+
+    def __init__(self, points: np.ndarray, side: float) -> None:
+        self.points = points
+        origin = points.min(axis=0)
+        idx = np.floor((points - origin) / side).astype(np.int64)
+        self.counts: dict[tuple, int] = defaultdict(int)
+        self.members: dict[tuple, list[int]] = defaultdict(list)
+        self.cell_of = list(map(tuple, idx))
+        for i, cell in enumerate(self.cell_of):
+            self.counts[cell] += 1
+            self.members[cell].append(i)
+
+    def layer_count(self, cell: tuple, stencil) -> int:
+        total = 0
+        for offset in stencil:
+            key = tuple(c + o for c, o in zip(cell, offset))
+            if key in self.counts:
+                total += self.counts[key]
+        return total
+
+
+def _stencil(ndim: int, radius: int):
+    """All integer offsets with Chebyshev norm <= radius."""
+    return list(itertools.product(range(-radius, radius + 1), repeat=ndim))
+
+
+class CellBasedDetector(Detector):
+    """Paper-faithful Cell-Based: prune cells, Nested-Loop the rest."""
+
+    name = "cell_based"
+
+    def __init__(self, chunk: int = 256, seed: int = 7) -> None:
+        self.chunk = chunk
+        self.seed = seed
+
+    def detect(
+        self,
+        core_points: np.ndarray,
+        core_ids: np.ndarray,
+        support_points: np.ndarray,
+        params: OutlierParams,
+    ) -> DetectionResult:
+        core_points, core_ids, support_points = validate_partition_inputs(
+            core_points, core_ids, support_points
+        )
+        n_core = core_points.shape[0]
+        if n_core == 0:
+            return DetectionResult([])
+        ndim = core_points.shape[1]
+        side = params.r / (2.0 * math.sqrt(ndim))
+        if support_points.shape[0]:
+            all_points = np.vstack([core_points, support_points])
+        else:
+            all_points = core_points
+
+        index = _CellIndex(all_points, side)
+        index_ops = all_points.shape[0]
+        k = params.k
+        stencil_l1 = _stencil(ndim, 1)
+        stencil_cand = _stencil(ndim, candidate_radius(ndim))
+
+        outliers: list[int] = []
+        unresolved_rows: list[int] = []
+        stats = {"cells_pruned_inlier": 0, "cells_pruned_outlier": 0,
+                 "cells_unresolved": 0}
+
+        core_cells: dict[tuple, list[int]] = defaultdict(list)
+        for i in range(n_core):
+            core_cells[index.cell_of[i]].append(i)
+
+        for cell, members in core_cells.items():
+            w1 = index.layer_count(cell, stencil_l1)
+            if w1 - 1 >= k:
+                stats["cells_pruned_inlier"] += 1
+                continue
+            w2 = index.layer_count(cell, stencil_cand)
+            if w2 - 1 < k:
+                stats["cells_pruned_outlier"] += 1
+                outliers.extend(int(core_ids[i]) for i in members)
+                continue
+            stats["cells_unresolved"] += 1
+            unresolved_rows.extend(members)
+
+        distance_evals = 0
+        if unresolved_rows:
+            rows = np.asarray(unresolved_rows, dtype=np.int64)
+            counts, distance_evals = random_scan_counts(
+                core_points[rows], all_points, params.r, k + 1,
+                chunk=self.chunk, seed=self.seed,
+            )
+            outliers.extend(
+                int(core_ids[row])
+                for row, count in zip(rows, counts)
+                if count < k + 1
+            )
+
+        return DetectionResult(
+            outlier_ids=outliers,
+            distance_evals=distance_evals,
+            index_ops=index_ops,
+            cell_ops=len(core_cells),
+            extras={"cells": len(index.counts),
+                    "unresolved_points": len(unresolved_rows), **stats},
+        )
+
+
+class CellBasedRingDetector(Detector):
+    """Extension: unresolved points scan only the L2 ring.
+
+    Starts each unresolved point from its guaranteed L1 neighbor count and
+    examines only points in cells at Chebyshev distance 2..candidate_radius
+    — a strict improvement over the paper's full Nested-Loop fallback.
+    """
+
+    name = "cell_based_ring"
+
+    def detect(
+        self,
+        core_points: np.ndarray,
+        core_ids: np.ndarray,
+        support_points: np.ndarray,
+        params: OutlierParams,
+    ) -> DetectionResult:
+        core_points, core_ids, support_points = validate_partition_inputs(
+            core_points, core_ids, support_points
+        )
+        n_core = core_points.shape[0]
+        if n_core == 0:
+            return DetectionResult([])
+        ndim = core_points.shape[1]
+        side = params.r / (2.0 * math.sqrt(ndim))
+        if support_points.shape[0]:
+            all_points = np.vstack([core_points, support_points])
+        else:
+            all_points = core_points
+
+        index = _CellIndex(all_points, side)
+        index_ops = all_points.shape[0]
+        k = params.k
+        r2 = params.r * params.r
+        stencil_l1 = _stencil(ndim, 1)
+        r_cand = candidate_radius(ndim)
+        ring_stencil = [
+            off for off in _stencil(ndim, r_cand)
+            if max(abs(o) for o in off) > 1
+        ]
+
+        outliers: list[int] = []
+        distance_evals = 0
+        stats = {"cells_pruned_inlier": 0, "cells_pruned_outlier": 0,
+                 "cells_unresolved": 0}
+
+        core_cells: dict[tuple, list[int]] = defaultdict(list)
+        for i in range(n_core):
+            core_cells[index.cell_of[i]].append(i)
+
+        for cell, members in core_cells.items():
+            w1 = index.layer_count(cell, stencil_l1)
+            if w1 - 1 >= k:
+                stats["cells_pruned_inlier"] += 1
+                continue
+            w2 = index.layer_count(
+                cell, stencil_l1
+            ) + sum(
+                index.counts.get(
+                    tuple(c + o for c, o in zip(cell, off)), 0
+                )
+                for off in ring_stencil
+            )
+            if w2 - 1 < k:
+                stats["cells_pruned_outlier"] += 1
+                outliers.extend(int(core_ids[i]) for i in members)
+                continue
+
+            stats["cells_unresolved"] += 1
+            ring_rows: list[int] = []
+            for off in ring_stencil:
+                key = tuple(c + o for c, o in zip(cell, off))
+                if key in index.members:
+                    ring_rows.extend(index.members[key])
+            ring = (
+                all_points[ring_rows]
+                if ring_rows
+                else np.empty((0, ndim))
+            )
+            guaranteed = w1 - 1
+            for i in members:
+                found = guaranteed
+                p = core_points[i]
+                for start in range(0, ring.shape[0], 256):
+                    block = ring[start:start + 256]
+                    d2 = np.sum((block - p) ** 2, axis=1)
+                    distance_evals += block.shape[0]
+                    found += int((d2 <= r2).sum())
+                    if found >= k:
+                        break
+                if found < k:
+                    outliers.append(int(core_ids[i]))
+
+        return DetectionResult(
+            outlier_ids=outliers,
+            distance_evals=distance_evals,
+            index_ops=index_ops,
+            cell_ops=len(core_cells),
+            extras={"cells": len(index.counts), **stats},
+        )

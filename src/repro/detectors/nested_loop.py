@@ -1,0 +1,73 @@
+"""The Nested-Loop detector (Knorr & Ng [3]; Sec. IV-A of the paper).
+
+For each point ``p`` the algorithm examines the other points in *random
+order* and stops as soon as ``k`` neighbors within ``r`` are found (``p`` is
+an inlier) or every candidate has been examined (``p`` is an outlier).
+
+Random-order scanning is what Lemma 4.1's cost model describes: the number
+of candidates examined before finding ``k`` neighbors has expectation
+``k / mu`` where ``mu`` is the local neighbor probability — so dense data
+terminates early and sparse data degrades toward a full scan.  The
+implementation vectorizes the scan in candidate chunks but preserves that
+semantics exactly: a point stops being examined at the first chunk boundary
+after its count reaches ``k``, and the reported ``distance_evals`` equal
+the number of candidate distances actually computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..params import OutlierParams
+from ._scan import random_scan_counts
+from .base import DetectionResult, Detector, validate_partition_inputs
+
+__all__ = ["NestedLoopDetector"]
+
+
+class NestedLoopDetector(Detector):
+    """Randomized early-termination nested loop.
+
+    ``chunk`` trades vectorization width against early-termination
+    granularity; ``seed`` fixes the random scan order for reproducibility.
+    """
+
+    name = "nested_loop"
+
+    def __init__(self, chunk: int = 256, seed: int = 7) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.chunk = chunk
+        self.seed = seed
+
+    def detect(
+        self,
+        core_points: np.ndarray,
+        core_ids: np.ndarray,
+        support_points: np.ndarray,
+        params: OutlierParams,
+    ) -> DetectionResult:
+        core_points, core_ids, support_points = validate_partition_inputs(
+            core_points, core_ids, support_points
+        )
+        n_core = core_points.shape[0]
+        if n_core == 0:
+            return DetectionResult([])
+
+        # Candidate pool: core plus support.  Every core point occurs in
+        # the pool exactly once and matches itself at distance zero, so
+        # inliers need k + 1 matches.
+        if support_points.shape[0]:
+            candidates = np.vstack([core_points, support_points])
+        else:
+            candidates = core_points
+        counts, distance_evals = random_scan_counts(
+            core_points, candidates, params.r, params.k + 1,
+            chunk=self.chunk, seed=self.seed,
+        )
+        outliers = core_ids[counts < params.k + 1]
+        return DetectionResult(
+            outlier_ids=outliers.tolist(),
+            distance_evals=distance_evals,
+            extras={"n_core": n_core, "n_support": support_points.shape[0]},
+        )

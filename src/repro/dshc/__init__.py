@@ -1,0 +1,7 @@
+"""DSHC clustering: Aggregate Features, the AF-tree, and the driver."""
+
+from .af import AggregateFeature
+from .aftree import AFTree
+from .dshc import DSHCConfig, DSHCResult, run_dshc
+
+__all__ = ["AggregateFeature", "AFTree", "DSHCConfig", "DSHCResult", "run_dshc"]

@@ -1,0 +1,268 @@
+"""The AF-tree: an R-tree-like index over DSHC clusters (Sec. V-A).
+
+Leaf entries are clusters, each represented by an
+:class:`~repro.dshc.af.AggregateFeature`; internal entries are child nodes
+summarized by their minimum bounding rectangles.  The tree supports the four
+operations the paper describes:
+
+* **search** — find clusters overlapping *or adjacent to* a query rect (the
+  LMC candidate list);
+* **insert** — ChooseLeaf by least enlargement, Guttman-style quadratic
+  node split on overflow;
+* **merge** — remove + AF-merge + reinsert, driven by the DSHC driver;
+* **split** — the standard R-tree split, triggered by insert.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..geometry import Rect
+from .af import AggregateFeature
+
+__all__ = ["AFTree"]
+
+
+class _Node:
+    """One AF-tree node.  Leaves hold AFs; internal nodes hold children.
+
+    The minimum bounding rectangle is cached and invalidated up the parent
+    chain on every mutation — recomputing it recursively on each search
+    made DSHC quadratic in practice.
+    """
+
+    __slots__ = ("is_leaf", "entries", "parent", "_mbr")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: List = []  # AggregateFeature | _Node
+        self.parent: Optional["_Node"] = None
+        self._mbr: Optional[Rect] = None
+
+    def mbr(self) -> Optional[Rect]:
+        if self._mbr is None and self.entries:
+            rects = [
+                e.rect if self.is_leaf else e.mbr()
+                for e in self.entries
+            ]
+            rects = [r for r in rects if r is not None]
+            if rects:
+                low = tuple(
+                    min(r.low[i] for r in rects)
+                    for i in range(rects[0].ndim)
+                )
+                high = tuple(
+                    max(r.high[i] for r in rects)
+                    for i in range(rects[0].ndim)
+                )
+                self._mbr = Rect(low, high)
+        return self._mbr
+
+    def invalidate(self) -> None:
+        """Drop cached MBRs on this node and every ancestor."""
+        node: Optional[_Node] = self
+        while node is not None:
+            node._mbr = None
+            node = node.parent
+
+
+class AFTree:
+    """R-tree over AggregateFeatures with adjacency-aware search."""
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4 for a sane split")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 2)
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def clusters(self) -> Iterator[AggregateFeature]:
+        """All clusters (leaf AFs) in the tree."""
+        yield from self._iter_leaf_entries(self._root)
+
+    def _iter_leaf_entries(self, node: _Node) -> Iterator[AggregateFeature]:
+        if node.is_leaf:
+            yield from node.entries
+        else:
+            for child in node.entries:
+                yield from self._iter_leaf_entries(child)
+
+    def search_candidates(self, rect: Rect) -> List[AggregateFeature]:
+        """The LMC list: clusters overlapping or adjacent to ``rect``.
+
+        Closed-box intersection makes touching faces count, which is exactly
+        the paper's "overlapping rectangles ... [and] nodes that are
+        adjacent to the new mini-bucket".
+        """
+        found: List[AggregateFeature] = []
+        self._search(self._root, rect, found)
+        return found
+
+    def _search(self, node: _Node, rect: Rect, out: List) -> None:
+        for entry in node.entries:
+            if node.is_leaf:
+                if entry.rect.intersects(rect):
+                    out.append(entry)
+            else:
+                mbr = entry.mbr()
+                if mbr is not None and mbr.intersects(rect):
+                    self._search(entry, rect, out)
+
+    def best_insertion_leaf(self, rect: Rect) -> "_Node":
+        """ChooseLeaf: descend by least MBR enlargement (ties: least area).
+
+        Exposed because DSHC's insert operation wants "the leaf node that
+        can accommodate this new mini bucket with least enlargement" even
+        when the LMC list is empty.
+        """
+        node = self._root
+        while not node.is_leaf:
+            node = min(
+                node.entries,
+                key=lambda child: self._choose_key(child, rect),
+            )
+        return node
+
+    @staticmethod
+    def _choose_key(child: "_Node", rect: Rect) -> tuple[float, float]:
+        mbr = child.mbr()
+        if mbr is None:
+            return (0.0, 0.0)
+        return (mbr.enlargement(rect), mbr.area)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert(self, af: AggregateFeature, near: Optional[_Node] = None) -> None:
+        """Insert a cluster, splitting on overflow.
+
+        ``near`` pins the target leaf (DSHC attaches a new cluster next to
+        its most density-similar LMC neighbor's leaf when one exists).
+        """
+        leaf = near if near is not None else self.best_insertion_leaf(af.rect)
+        leaf.entries.append(af)
+        leaf.invalidate()
+        self._size += 1
+        self._handle_overflow(leaf)
+
+    def remove(self, af: AggregateFeature) -> None:
+        """Remove a cluster (identity match) prior to a merge."""
+        leaf = self._find_leaf(self._root, af)
+        if leaf is None:
+            raise KeyError("cluster not present in AF-tree")
+        leaf.entries.remove(af)
+        leaf.invalidate()
+        self._size -= 1
+        self._condense(leaf)
+
+    def leaf_of(self, af: AggregateFeature) -> Optional[_Node]:
+        """The leaf currently holding ``af`` (None if absent)."""
+        return self._find_leaf(self._root, af)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _find_leaf(self, node: _Node, af: AggregateFeature) -> Optional[_Node]:
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry is af:
+                    return node
+            return None
+        for child in node.entries:
+            mbr = child.mbr()
+            if mbr is not None and mbr.intersects(af.rect):
+                found = self._find_leaf(child, af)
+                if found is not None:
+                    return found
+        return None
+
+    def _handle_overflow(self, node: _Node) -> None:
+        while len(node.entries) > self.max_entries:
+            left, right = self._split(node)
+            parent = node.parent
+            if parent is None:
+                # Grow a new root above the two halves.
+                new_root = _Node(is_leaf=False)
+                new_root.entries = [left, right]
+                left.parent = new_root
+                right.parent = new_root
+                self._root = new_root
+                return
+            parent.entries.remove(node)
+            parent.entries.extend([left, right])
+            left.parent = parent
+            right.parent = parent
+            parent.invalidate()
+            node = parent
+
+    def _split(self, node: _Node) -> tuple[_Node, _Node]:
+        """Guttman quadratic split."""
+        entries = node.entries
+        rects = [
+            e.rect if node.is_leaf else e.mbr() for e in entries
+        ]
+        # Pick seeds: the pair whose combined box wastes the most area.
+        best_pair, best_waste = (0, 1), -1.0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    rects[i].union_bbox(rects[j]).area
+                    - rects[i].area
+                    - rects[j].area
+                )
+                if waste > best_waste:
+                    best_pair, best_waste = (i, j), waste
+        left = _Node(node.is_leaf)
+        right = _Node(node.is_leaf)
+        i, j = best_pair
+        groups = [(left, rects[i]), (right, rects[j])]
+        left.entries.append(entries[i])
+        right.entries.append(entries[j])
+        remaining = [
+            (e, r) for idx, (e, r) in enumerate(zip(entries, rects))
+            if idx not in best_pair
+        ]
+        for entry, rect in remaining:
+            # Respect the minimum fill factor.
+            if len(left.entries) + len(remaining) <= self.min_entries:
+                target = left
+            elif len(right.entries) + len(remaining) <= self.min_entries:
+                target = right
+            else:
+                l_mbr, r_mbr = groups[0][1], groups[1][1]
+                target = (
+                    left
+                    if l_mbr.enlargement(rect) <= r_mbr.enlargement(rect)
+                    else right
+                )
+            target.entries.append(entry)
+            if target is left:
+                groups[0] = (left, groups[0][1].union_bbox(rect))
+            else:
+                groups[1] = (right, groups[1][1].union_bbox(rect))
+        if not node.is_leaf:
+            for child in left.entries:
+                child.parent = left
+            for child in right.entries:
+                child.parent = right
+        return left, right
+
+    def _condense(self, node: _Node) -> None:
+        """After a removal: prune empty nodes; shrink a trivial root."""
+        while node.parent is not None and not node.entries:
+            parent = node.parent
+            parent.entries.remove(node)
+            parent.invalidate()
+            node = parent
+        root = self._root
+        while not root.is_leaf and len(root.entries) == 1:
+            root = root.entries[0]
+            root.parent = None
+            self._root = root

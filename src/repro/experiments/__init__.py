@@ -1,0 +1,42 @@
+"""Experiment harness: one module per paper figure (Sec. IV + VI).
+
+Each module's ``run(scale=..., seed=...)`` regenerates the corresponding
+figure's rows/series; ``print_report`` renders them.  ``run_all`` executes
+the whole evaluation (used to produce EXPERIMENTS.md).
+"""
+
+from . import extra, fig4, fig5, fig7, fig8, fig9, fig10
+from .common import EXPERIMENT_CLUSTER, format_table, print_report
+from .runs import run_combo, sample_rate_for
+
+__all__ = [
+    "extra",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "run_all",
+    "run_combo",
+    "sample_rate_for",
+    "EXPERIMENT_CLUSTER",
+    "format_table",
+    "print_report",
+]
+
+
+def run_all(scale: float = 1.0, seed: int = 0, report: bool = True) -> dict:
+    """Run every figure's experiment; optionally print the reports."""
+    results = {
+        "fig4": fig4.run(scale, seed),
+        "fig5": fig5.run(scale, seed),
+        "fig7": fig7.run(scale, seed),
+        "fig8": fig8.run(scale, seed),
+        "fig9": fig9.run(scale, seed),
+        "fig10": fig10.run(scale, seed),
+    }
+    if report:
+        for result in results.values():
+            print_report(result)
+    return results

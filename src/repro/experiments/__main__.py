@@ -1,0 +1,48 @@
+"""Run the full experimental study from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # all figures, scale 1.0
+    python -m repro.experiments --scale 0.5     # quicker, smaller datasets
+    python -m repro.experiments --only fig5 fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from . import fig4, fig5, fig7, fig8, fig9, fig10, print_report
+
+FIGURES = {
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation figures."
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset size multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", nargs="*", choices=sorted(FIGURES),
+                        help="subset of figures to run")
+    args = parser.parse_args()
+
+    names = args.only or sorted(FIGURES)
+    for name in names:
+        start = time.perf_counter()
+        result = FIGURES[name].run(scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print_report(result)
+        print(f"  [{name} completed in {elapsed:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

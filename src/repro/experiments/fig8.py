@@ -1,0 +1,60 @@
+"""Figure 8 — partitioning scalability over growing datasets.
+
+Paper setup: the nested region hierarchy MA -> NE -> US -> Planet (30M to
+4B points; scaled down here, same doubling structure and growing skew);
+four partitioning strategies per detector, absolute times on a log scale.
+Finding: CDriven wins at every size and wins *more* as data grows (6x over
+DDriven, 17x over Domain at Planet scale).
+"""
+
+from __future__ import annotations
+
+from ..data import region_dataset
+from ..params import OutlierParams
+from .runs import run_combo
+
+__all__ = ["run", "PARAMS", "REGIONS", "STRATEGIES"]
+
+PARAMS = OutlierParams(r=2.0, k=12)
+REGIONS = ("MA", "NE", "US", "Planet")
+STRATEGIES = ("Domain", "uniSpace", "DDriven", "CDriven")
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 0,
+    detectors: tuple[str, ...] = ("nested_loop", "cell_based"),
+) -> dict:
+    """Run every (region, strategy) pair per detector; absolute seconds."""
+    base_n = max(1500, int(6_000 * scale))
+    rows = []
+    for detector in detectors:
+        for region in REGIONS:
+            dataset = region_dataset(region, base_n=base_n, seed=seed)
+            outlier_sets = {}
+            row = {
+                "subfigure": f"8{'a' if detector == 'nested_loop' else 'b'}",
+                "detector": detector,
+                "region": region,
+                "n": dataset.n,
+            }
+            for strategy in STRATEGIES:
+                result = run_combo(
+                    dataset, PARAMS, strategy, detector, seed=seed + 1
+                )
+                row[f"{strategy}_s"] = result.simulated_total_seconds
+                outlier_sets[strategy] = result.outlier_ids
+            if len({frozenset(s) for s in outlier_sets.values()}) != 1:
+                raise AssertionError(
+                    f"strategies disagree on {region}: exactness violated"
+                )
+            rows.append(row)
+    notes = [
+        "paper: CDriven consistently fastest; margin grows with data size "
+        "(6x over DDriven, 17x over Domain at Planet)",
+    ]
+    return {
+        "figure": "Fig. 8 — partitioning scalability (region hierarchy)",
+        "rows": rows,
+        "notes": notes,
+    }

@@ -1,0 +1,6 @@
+"""Geometric substrate: hyper-rectangles and uniform grids."""
+
+from .grid import UniformGrid, balanced_factorization
+from .rect import Rect, total_bounding
+
+__all__ = ["Rect", "UniformGrid", "balanced_factorization", "total_bounding"]

@@ -1,0 +1,194 @@
+"""Uniform grids over a rectangular domain.
+
+Two distinct grids appear in the paper and both are provided by
+:class:`UniformGrid`:
+
+* the *partitioning* grid of the DOD framework (Sec. III-A), whose cells are
+  shipped to reducers together with their supporting areas, and
+* the *mini bucket* grid of the DMT pre-processing job (Sec. V-A), whose
+  per-bucket statistics feed the DSHC clustering algorithm.
+
+The Cell-Based detector (Sec. IV-B) uses its own finer internal grid with a
+side length tied to ``r``; it builds on the same index arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .rect import Rect
+
+__all__ = ["UniformGrid", "balanced_factorization"]
+
+
+def balanced_factorization(m: int, ndim: int) -> tuple[int, ...]:
+    """Split ``m`` into ``ndim`` factors as close to ``m**(1/ndim)`` as
+    possible, rounding the product up so at least ``m`` cells exist.
+
+    Used when a strategy is asked for "about m partitions" of a d-dimensional
+    space with an equi-width grid.
+    """
+    if m < 1:
+        raise ValueError("need m >= 1")
+    if ndim < 1:
+        raise ValueError("need ndim >= 1")
+    base = max(1, round(m ** (1.0 / ndim)))
+    factors = [base] * ndim
+    # Grow one axis at a time until the grid has at least m cells.
+    i = 0
+    while math.prod(factors) < m:
+        factors[i % ndim] += 1
+        i += 1
+    return tuple(factors)
+
+
+@dataclass(frozen=True)
+class UniformGrid:
+    """An equi-width grid of ``shape[i]`` cells along each dimension."""
+
+    domain: Rect
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != self.domain.ndim:
+            raise ValueError(
+                f"grid shape has {len(self.shape)} dims, "
+                f"domain has {self.domain.ndim}"
+            )
+        if any(s < 1 for s in self.shape):
+            raise ValueError("every grid dimension needs at least one cell")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_cells(cls, domain: Rect, n_cells: int) -> "UniformGrid":
+        """A grid with roughly ``n_cells`` cells, balanced across dims."""
+        return cls(domain, balanced_factorization(n_cells, domain.ndim))
+
+    @property
+    def n_cells(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def cell_widths(self) -> tuple[float, ...]:
+        return tuple(
+            w / s for w, s in zip(self.domain.widths, self.shape)
+        )
+
+    # ------------------------------------------------------------------
+    # Index arithmetic
+    # ------------------------------------------------------------------
+    def cell_of(self, point: Sequence[float]) -> tuple[int, ...]:
+        """Multi-index of the cell containing ``point`` (clamped to the
+        domain so boundary points map to the last cell, not one past it)."""
+        idx = []
+        for x, lo, w, s in zip(
+            point, self.domain.low, self.cell_widths, self.shape
+        ):
+            if w <= 0:
+                idx.append(0)
+                continue
+            i = int((x - lo) / w)
+            idx.append(min(max(i, 0), s - 1))
+        return tuple(idx)
+
+    def cells_of(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_of`: returns an ``(n, d)`` int array."""
+        points = np.asarray(points, dtype=float)
+        low = np.asarray(self.domain.low)
+        widths = np.asarray(self.cell_widths)
+        shape = np.asarray(self.shape)
+        safe_widths = np.where(widths > 0, widths, 1.0)
+        idx = np.floor((points - low) / safe_widths).astype(np.int64)
+        idx = np.where(widths > 0, idx, 0)
+        return np.clip(idx, 0, shape - 1)
+
+    def flat_index(self, idx: Sequence[int]) -> int:
+        """Row-major linearization of a multi-index."""
+        flat = 0
+        for i, s in zip(idx, self.shape):
+            flat = flat * s + i
+        return flat
+
+    def flat_indices(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorized row-major linearization of an ``(n, d)`` index array."""
+        return np.ravel_multi_index(tuple(np.asarray(idx).T), self.shape)
+
+    def unflatten(self, flat: int) -> tuple[int, ...]:
+        """Inverse of :meth:`flat_index`."""
+        idx = []
+        for s in reversed(self.shape):
+            idx.append(flat % s)
+            flat //= s
+        return tuple(reversed(idx))
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def cell_rect(self, idx: Sequence[int]) -> Rect:
+        """The box of cell ``idx``."""
+        low = []
+        high = []
+        for i, lo, w, s in zip(
+            idx, self.domain.low, self.cell_widths, self.shape
+        ):
+            if not 0 <= i < s:
+                raise IndexError(f"cell index {i} out of range [0, {s})")
+            low.append(lo + i * w)
+            # Snap the final cell's face to the domain face so the grid tiles
+            # the domain exactly despite floating point division.
+            high.append(self.domain.high[len(low) - 1] if i == s - 1 else lo + (i + 1) * w)
+        return Rect(tuple(low), tuple(high))
+
+    def iter_cells(self) -> Iterator[tuple[int, ...]]:
+        """All multi-indices in row-major order."""
+        return itertools.product(*(range(s) for s in self.shape))
+
+    def cells_within(self, rect: Rect) -> Iterator[tuple[int, ...]]:
+        """Multi-indices of all cells whose box intersects ``rect``.
+
+        This is how the DOD mapper finds the cells for which a point is a
+        *support* point: the cells intersecting the ``r``-ball's bounding box
+        around the point (equivalently, the cells whose ``r``-expansion
+        contains the point, by symmetry of the extension).
+        """
+        ranges = []
+        for lo, hi, dom_lo, w, s in zip(
+            rect.low,
+            rect.high,
+            self.domain.low,
+            self.cell_widths,
+            self.shape,
+        ):
+            if w <= 0:
+                ranges.append(range(0, 1))
+                continue
+            first = int(math.floor((lo - dom_lo) / w))
+            last = int(math.floor((hi - dom_lo) / w))
+            # A rect face lying exactly on a cell boundary belongs to the
+            # lower cell for its upper face (closed boxes touch).
+            if last * w + dom_lo == hi and last > first:
+                last -= 1
+            first = min(max(first, 0), s - 1)
+            last = min(max(last, 0), s - 1)
+            ranges.append(range(first, last + 1))
+        return itertools.product(*ranges)
+
+    def neighborhood(
+        self, idx: Sequence[int], radius: int
+    ) -> Iterator[tuple[int, ...]]:
+        """All cells within Chebyshev distance ``radius`` of ``idx``
+        (including ``idx`` itself), clipped to the grid.
+
+        The Cell-Based detector's L1 layer is ``radius=1`` and its L2 layer
+        is ``radius=ceil(2*sqrt(d))`` minus the L1 layer.
+        """
+        ranges = [
+            range(max(0, i - radius), min(s, i + radius + 1))
+            for i, s in zip(idx, self.shape)
+        ]
+        return itertools.product(*ranges)

@@ -1,0 +1,13 @@
+"""kNN-based top-n outlier detection (Ramaswamy semantics, [10])."""
+
+from .outliers import (
+    KNNOutlierResult,
+    distributed_knn_outliers,
+    knn_outliers_reference,
+)
+
+__all__ = [
+    "KNNOutlierResult",
+    "distributed_knn_outliers",
+    "knn_outliers_reference",
+]

@@ -1,0 +1,5 @@
+"""LOCI outlier detection (Papadimitriou et al. [22]) on the framework."""
+
+from .loci import LOCIParams, distributed_loci, loci_reference
+
+__all__ = ["LOCIParams", "distributed_loci", "loci_reference"]

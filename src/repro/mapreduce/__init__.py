@@ -1,0 +1,47 @@
+"""Simulated MapReduce substrate (HDFS, jobs, runtime, cluster model)."""
+
+from .cluster import LOCAL_TEST_CLUSTER, ClusterConfig, makespan
+from .counters import Counters
+from .failures import (
+    FailureInjector,
+    RandomFailures,
+    ScriptedFailures,
+    SimulatedTaskFailure,
+)
+from .hdfs import Block, HDFSFile, SimulatedHDFS
+from .job import (
+    DictPartitioner,
+    HashPartitioner,
+    MapReduceJob,
+    Mapper,
+    Partitioner,
+    Reducer,
+    TaskContext,
+)
+from .parallel import ParallelRuntime
+from .runtime import JobResult, LocalRuntime, TaskStats
+
+__all__ = [
+    "ClusterConfig",
+    "LOCAL_TEST_CLUSTER",
+    "makespan",
+    "Counters",
+    "FailureInjector",
+    "RandomFailures",
+    "ScriptedFailures",
+    "SimulatedTaskFailure",
+    "Block",
+    "HDFSFile",
+    "SimulatedHDFS",
+    "Mapper",
+    "Reducer",
+    "Partitioner",
+    "HashPartitioner",
+    "DictPartitioner",
+    "MapReduceJob",
+    "TaskContext",
+    "JobResult",
+    "LocalRuntime",
+    "ParallelRuntime",
+    "TaskStats",
+]

@@ -1,0 +1,56 @@
+"""Hadoop-style job counters.
+
+Counters are the only side-channel mappers and reducers have (exactly as in
+Hadoop): they accumulate named integer totals that the runtime merges into
+the job result.  The detection reducers use them to report *cost units*
+(distance evaluations, indexing operations) so benchmarks can compute a
+deterministic makespan independent of host machine noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """A two-level ``group -> name -> value`` counter map.
+
+    Plain nested dicts (no defaultdict factories) so counter snapshots
+    pickle cleanly across process boundaries.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Dict[str, int]] = {}
+
+    def incr(self, group: str, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``group/name``."""
+        bucket = self._values.setdefault(group, {})
+        bucket[name] = bucket.get(name, 0) + amount
+
+    def get(self, group: str, name: str) -> int:
+        """Current value of ``group/name`` (0 if never incremented)."""
+        return self._values.get(group, {}).get(name, 0)
+
+    def group(self, group: str) -> Dict[str, int]:
+        """A copy of all counters in ``group``."""
+        return dict(self._values.get(group, {}))
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one."""
+        for group, names in other._values.items():
+            for name, value in names.items():
+                self.incr(group, name, value)
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Plain nested-dict snapshot (for logging / assertions)."""
+        return {g: dict(n) for g, n in self._values.items()}
+
+    def __iter__(self) -> Iterable[tuple[str, str, int]]:
+        for group, names in self._values.items():
+            for name, value in names.items():
+                yield group, name, value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self.as_dict()!r})"

@@ -1,0 +1,64 @@
+"""Failure injection for the simulated MapReduce runtime.
+
+One of the paper's reasons for choosing MapReduce (Sec. I) is "efficient
+fault tolerant execution": tasks that die are simply re-executed from
+their input split.  The runtime reproduces that contract — task outputs
+commit only on success, failed attempts are retried up to a bound — and
+this module provides the injectors that make the behavior testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["SimulatedTaskFailure", "FailureInjector", "RandomFailures",
+           "ScriptedFailures"]
+
+
+class SimulatedTaskFailure(RuntimeError):
+    """Raised inside a task attempt to simulate a worker crash."""
+
+
+class FailureInjector:
+    """Base injector: never fails.  Subclass and override should_fail."""
+
+    def should_fail(self, phase: str, task_id: int, attempt: int) -> bool:
+        return False
+
+
+@dataclass
+class RandomFailures(FailureInjector):
+    """Each task attempt fails independently with probability ``rate``.
+
+    Deterministic given the seed: the decision depends only on
+    ``(phase, task_id, attempt)``.
+    """
+
+    rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rate < 1:
+            raise ValueError("rate must be in [0, 1)")
+
+    def should_fail(self, phase: str, task_id: int, attempt: int) -> bool:
+        key = (self.seed, phase == "map", task_id, attempt)
+        rng = np.random.default_rng(abs(hash(key)) % 2**32)
+        return bool(rng.random() < self.rate)
+
+
+@dataclass
+class ScriptedFailures(FailureInjector):
+    """Fail specific tasks a specific number of times.
+
+    ``plan`` maps ``(phase, task_id)`` to how many attempts should crash
+    before one succeeds.
+    """
+
+    plan: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+    def should_fail(self, phase: str, task_id: int, attempt: int) -> bool:
+        return attempt < self.plan.get((phase, task_id), 0)

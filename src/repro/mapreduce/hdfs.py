@@ -1,0 +1,110 @@
+"""A simulated HDFS: files split into blocks, replicated across nodes.
+
+The input of the DOD job "resides in HDFS ... the data points are randomly
+distributed over the HDFS blocks" (Sec. III-B).  We model exactly that: a
+file is a sequence of records chopped into fixed-size blocks, each block
+placed on ``replication`` distinct nodes.  The runtime launches one map task
+per block, which is what ties data size to map parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from .cluster import ClusterConfig
+
+__all__ = ["Block", "HDFSFile", "SimulatedHDFS"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block: an id, its records, and its replica placement."""
+
+    block_id: int
+    records: tuple
+    replicas: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class HDFSFile:
+    """A named file: an ordered list of blocks."""
+
+    name: str
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def n_records(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def iter_records(self) -> Iterator:
+        for block in self.blocks:
+            yield from block.records
+
+
+class SimulatedHDFS:
+    """Block store for the simulated cluster.
+
+    Placement policy: block replicas go to ``replication`` distinct nodes
+    chosen round-robin, mimicking HDFS's even spread for bulk loads (rack
+    awareness is irrelevant for a flat simulated topology).
+    """
+
+    def __init__(self, cluster: ClusterConfig) -> None:
+        self._cluster = cluster
+        self._files: Dict[str, HDFSFile] = {}
+        self._next_block_id = 0
+
+    def put(
+        self,
+        name: str,
+        records: Sequence,
+        block_records: int | None = None,
+    ) -> HDFSFile:
+        """Write ``records`` as file ``name``, splitting into blocks."""
+        if name in self._files:
+            raise FileExistsError(f"HDFS file already exists: {name}")
+        block_records = block_records or self._cluster.hdfs_block_records
+        if block_records < 1:
+            raise ValueError("block size must be at least one record")
+        blocks: List[Block] = []
+        n_nodes = self._cluster.nodes
+        replication = min(self._cluster.replication, n_nodes)
+        for start in range(0, len(records), block_records):
+            chunk = tuple(records[start:start + block_records])
+            first = self._next_block_id % n_nodes
+            replicas = tuple(
+                (first + i) % n_nodes for i in range(replication)
+            )
+            blocks.append(Block(self._next_block_id, chunk, replicas))
+            self._next_block_id += 1
+        f = HDFSFile(name, blocks)
+        self._files[name] = f
+        return f
+
+    def get(self, name: str) -> HDFSFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no such HDFS file: {name}") from None
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def ls(self) -> List[str]:
+        return sorted(self._files)
+
+    def node_block_counts(self) -> Dict[int, int]:
+        """Replica count per node — used to assert placement is balanced."""
+        counts: Dict[int, int] = {n: 0 for n in range(self._cluster.nodes)}
+        for f in self._files.values():
+            for block in f.blocks:
+                for node in block.replicas:
+                    counts[node] += 1
+        return counts

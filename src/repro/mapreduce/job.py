@@ -1,0 +1,155 @@
+"""MapReduce programming interfaces.
+
+User code implements :class:`Mapper` and :class:`Reducer` (and optionally a
+combiner and a custom :class:`Partitioner`), then bundles them into a
+:class:`MapReduceJob` for the runtime.  The interfaces follow Hadoop's
+contract:
+
+* ``map(key, value, ctx)`` yields zero or more ``(key, value)`` pairs;
+* the framework shuffles pairs to reducers by ``partitioner(key)``, groups
+  by key, and sorts groups by key within each reducer;
+* ``reduce(key, values, ctx)`` yields zero or more output records.
+
+The :class:`TaskContext` carries counters and a *cost units* channel — the
+deterministic work measure used for makespan simulation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from .counters import Counters
+
+__all__ = [
+    "TaskContext",
+    "Mapper",
+    "Reducer",
+    "Partitioner",
+    "HashPartitioner",
+    "DictPartitioner",
+    "MapReduceJob",
+]
+
+
+class TaskContext:
+    """Per-task context handed to map and reduce calls."""
+
+    def __init__(self, task_id: int) -> None:
+        self.task_id = task_id
+        self.counters = Counters()
+        self._cost_units = 0.0
+
+    def add_cost(self, units: float) -> None:
+        """Report deterministic work performed by this task.
+
+        Tasks that never call this are costed by wall time alone.
+        """
+        self._cost_units += units
+
+    @property
+    def cost_units(self) -> float:
+        return self._cost_units
+
+
+class Mapper(abc.ABC):
+    """Map side of a job."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        """Called once before the first record of each map task."""
+
+    @abc.abstractmethod
+    def map(self, key: Any, value: Any, ctx: TaskContext) -> Iterable[tuple]:
+        """Process one input record; yield ``(key, value)`` pairs."""
+
+    def map_block(
+        self, records: list, ctx: TaskContext
+    ) -> Optional[Iterable[tuple]]:
+        """Optional vectorized path: process one whole input block.
+
+        Return an iterable of ``(key, value)`` pairs to take over the
+        block, or ``None`` to fall back to per-record :meth:`map` calls.
+        Semantically equivalent to mapping each record; it exists because
+        a real MapReduce worker's per-record cost is a few machine
+        instructions, while a Python-level per-record loop would dominate
+        the simulation and distort phase breakdowns.
+        """
+        return None
+
+    def cleanup(self, ctx: TaskContext) -> Iterable[tuple]:
+        """Called once after the last record; may yield final pairs."""
+        return ()
+
+
+class Reducer(abc.ABC):
+    """Reduce side of a job."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        """Called once before the first group of each reduce task."""
+
+    @abc.abstractmethod
+    def reduce(
+        self, key: Any, values: list, ctx: TaskContext
+    ) -> Iterable[Any]:
+        """Process one key group; yield output records."""
+
+    def cleanup(self, ctx: TaskContext) -> Iterable[Any]:
+        """Called once after the last group; may yield final records."""
+        return ()
+
+
+class Partitioner(abc.ABC):
+    """Routes a map-output key to a reducer index in ``[0, n_reducers)``."""
+
+    @abc.abstractmethod
+    def partition(self, key: Any, n_reducers: int) -> int:
+        ...
+
+
+class HashPartitioner(Partitioner):
+    """Hadoop's default: ``hash(key) mod n_reducers``."""
+
+    def partition(self, key: Any, n_reducers: int) -> int:
+        return hash(key) % n_reducers
+
+
+class DictPartitioner(Partitioner):
+    """Routes keys via an explicit allocation table.
+
+    This is the vehicle for the paper's Step-3 *allocation plan* (Sec. V-A):
+    the pre-processing job decides which partition goes to which reducer and
+    the table is distributed to the partitioner of the detection job.
+    Unknown keys fall back to hashing so auxiliary keys keep working.
+    """
+
+    def __init__(self, table: dict[Any, int]) -> None:
+        self._table = dict(table)
+
+    def partition(self, key: Any, n_reducers: int) -> int:
+        if key in self._table:
+            return self._table[key] % n_reducers
+        return hash(key) % n_reducers
+
+
+@dataclass
+class MapReduceJob:
+    """A complete job description.
+
+    ``combiner`` (optional) runs on each map task's local output groups
+    before the shuffle, exactly like a Hadoop combiner; it must be
+    associative and produce the same pair type as the mapper.
+    """
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    n_reducers: int = 1
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    combiner: Optional[Reducer] = None
+    sort_keys: bool = True
+    key_sort_fn: Optional[Callable[[Any], Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_reducers < 1:
+            raise ValueError("a job needs at least one reducer")

@@ -1,0 +1,306 @@
+"""The local MapReduce runtime: map -> combine -> shuffle/sort -> reduce.
+
+Executes a :class:`~repro.mapreduce.job.MapReduceJob` against a
+:class:`~repro.mapreduce.hdfs.SimulatedHDFS` file (or any list of records).
+Every phase is fully materialized in-process, but the runtime keeps the
+books a real cluster would:
+
+* one map task per HDFS block, one reduce task per reducer index;
+* per-task wall time and reported cost units;
+* shuffle volume (records and approximate bytes) between map and reduce;
+* a simulated *makespan* per phase from the cluster slot model.
+
+This is the substrate every experiment in the paper runs on: the paper's
+Figures 7-10 compare end-to-end and per-phase times, which here come from
+:class:`JobResult.phase_times` (wall) and :meth:`JobResult.simulated_time`
+(slot-model makespan over deterministic cost units).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from .cluster import ClusterConfig
+from .counters import Counters
+from .hdfs import HDFSFile, SimulatedHDFS
+from .job import MapReduceJob, TaskContext
+
+__all__ = ["TaskStats", "JobResult", "LocalRuntime"]
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    """Accounting for one map or reduce task."""
+
+    task_id: int
+    phase: str  # "map" | "reduce"
+    wall_seconds: float
+    cost_units: float
+    input_records: int
+    output_records: int
+
+
+@dataclass
+class JobResult:
+    """Everything a job run produced."""
+
+    job_name: str
+    outputs: List[Any]
+    counters: Counters
+    map_tasks: List[TaskStats] = field(default_factory=list)
+    reduce_tasks: List[TaskStats] = field(default_factory=list)
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+
+    # ------------------------------------------------------------------
+    def simulated_time(
+        self, cluster: ClusterConfig, metric: str = "wall"
+    ) -> float:
+        """Slot-model makespan of the whole job.
+
+        Map tasks are scheduled on the cluster's map slots and reduce tasks
+        on its reduce slots (phases sequential, as in Hadoop without
+        slow-start).  ``metric`` selects the per-task duration:
+
+        * ``"wall"`` — measured seconds of the in-process task.  This is
+          what the experiment harness reports: it reflects the real
+          relative cost of indexing vs. distance arithmetic in this
+          implementation.
+        * ``"units"`` — the task's deterministic cost units (distance
+          evaluations + index operations), machine-independent.
+        """
+        return self.simulated_phase_time(
+            "map", cluster, metric
+        ) + self.simulated_phase_time("reduce", cluster, metric)
+
+    def simulated_phase_time(
+        self, phase: str, cluster: ClusterConfig, metric: str = "wall"
+    ) -> float:
+        """Makespan of a single phase ("map" or "reduce")."""
+        if phase == "map":
+            tasks, slots = self.map_tasks, cluster.map_slots
+        elif phase == "reduce":
+            tasks, slots = self.reduce_tasks, cluster.reduce_slots
+        else:
+            raise ValueError(f"unknown phase: {phase!r}")
+        from .cluster import makespan
+
+        return makespan([self._task_cost(t, metric) for t in tasks], slots)
+
+    @staticmethod
+    def _task_cost(task: TaskStats, metric: str = "wall") -> float:
+        if metric == "wall":
+            return task.wall_seconds
+        if metric == "units":
+            return (
+                task.cost_units if task.cost_units > 0 else task.wall_seconds
+            )
+        raise ValueError(f"unknown metric: {metric!r}")
+
+    def reduce_task_costs(self, metric: str = "wall") -> List[float]:
+        """Per-reducer costs — the load-balance signal in Fig. 7/8."""
+        return [self._task_cost(t, metric) for t in self.reduce_tasks]
+
+
+class LocalRuntime:
+    """Runs jobs against a simulated cluster.
+
+    Fault tolerance follows Hadoop's contract: a task attempt's outputs
+    commit only when the attempt succeeds; failed attempts (injected via
+    ``failure_injector``, or real exceptions from user code) are retried
+    up to ``max_attempts`` times before the job errors out.  Retried wall
+    time is accounted in the task's stats, as it would be on a cluster.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig | None = None,
+        hdfs: SimulatedHDFS | None = None,
+        failure_injector=None,
+        max_attempts: int = 4,
+    ) -> None:
+        self.cluster = cluster or ClusterConfig()
+        self.hdfs = hdfs or SimulatedHDFS(self.cluster)
+        self.failure_injector = failure_injector
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        job: MapReduceJob,
+        input_data: HDFSFile | str | Sequence,
+        block_records: int | None = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``input_data`` and return its result.
+
+        ``input_data`` may be an :class:`HDFSFile`, the name of one, or a
+        plain record sequence (which is split into synthetic blocks of
+        ``block_records`` records, mirroring an HDFS layout).
+        """
+        blocks = self._resolve_blocks(input_data, block_records)
+        result = JobResult(job.name, outputs=[], counters=Counters())
+
+        # ----------------------------- map phase -----------------------
+        t0 = time.perf_counter()
+        # One spill per (map task, reducer): the shuffle routes each pair as
+        # it is emitted, like Hadoop's map-side partitioned spill files.
+        reducer_inputs: List[Dict[Any, List[Any]]] = [
+            defaultdict(list) for _ in range(job.n_reducers)
+        ]
+        for task_id, block in enumerate(blocks):
+            ctx, pairs, wall = self._run_attempts(
+                "map", task_id,
+                lambda ctx: self._map_attempt(job, block, ctx),
+            )
+            for key, value in pairs:
+                dest = job.partitioner.partition(key, job.n_reducers)
+                if not 0 <= dest < job.n_reducers:
+                    raise ValueError(
+                        f"partitioner returned {dest} for key {key!r}; "
+                        f"must be in [0, {job.n_reducers})"
+                    )
+                reducer_inputs[dest][key].append(value)
+            result.map_tasks.append(
+                TaskStats(task_id, "map", wall, ctx.cost_units,
+                          len(block), len(pairs))
+            )
+            result.counters.merge(ctx.counters)
+            result.shuffle_records += len(pairs)
+            result.shuffle_bytes += sum(
+                _approx_size(k) + _approx_size(v) for k, v in pairs
+            )
+        result.phase_times["map"] = time.perf_counter() - t0
+
+        # --------------------------- reduce phase ----------------------
+        t0 = time.perf_counter()
+        for reducer_id in range(job.n_reducers):
+            groups = reducer_inputs[reducer_id]
+            ctx, (outputs, n_in), wall = self._run_attempts(
+                "reduce", reducer_id,
+                lambda ctx: self._reduce_attempt(job, groups, ctx),
+            )
+            result.outputs.extend(outputs)
+            result.reduce_tasks.append(
+                TaskStats(reducer_id, "reduce", wall, ctx.cost_units,
+                          n_in, len(outputs))
+            )
+            result.counters.merge(ctx.counters)
+        result.phase_times["reduce"] = time.perf_counter() - t0
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_attempts(self, phase: str, task_id: int, body):
+        """Execute a task with retry-on-failure; commit only on success.
+
+        Failed attempts are recorded on the *successful* attempt's context
+        counters, so they survive the trip back from worker processes.
+        """
+        wall = 0.0
+        failures = 0
+        for attempt in range(self.max_attempts):
+            ctx = TaskContext(task_id)
+            task_start = time.perf_counter()
+            try:
+                if self.failure_injector is not None and (
+                    self.failure_injector.should_fail(
+                        phase, task_id, attempt
+                    )
+                ):
+                    from .failures import SimulatedTaskFailure
+
+                    raise SimulatedTaskFailure(
+                        f"{phase} task {task_id} attempt {attempt}"
+                    )
+                out = body(ctx)
+            except Exception:
+                wall += time.perf_counter() - task_start
+                failures += 1
+                if attempt == self.max_attempts - 1:
+                    raise
+                continue
+            wall += time.perf_counter() - task_start
+            if failures:
+                ctx.counters.incr(
+                    "runtime", f"{phase}_task_failures", failures
+                )
+            return ctx, out, wall
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _map_attempt(self, job: MapReduceJob, block, ctx: TaskContext):
+        job.mapper.setup(ctx)
+        pairs: List[tuple] = []
+        block_out = job.mapper.map_block(list(block), ctx)
+        if block_out is not None:
+            pairs.extend(block_out)
+        else:
+            for record in block:
+                key, value = self._record_kv(record)
+                for out in job.mapper.map(key, value, ctx):
+                    pairs.append(out)
+        for out in job.mapper.cleanup(ctx):
+            pairs.append(out)
+        if job.combiner is not None:
+            pairs = self._combine(job, pairs, ctx)
+        return pairs
+
+    def _reduce_attempt(self, job: MapReduceJob, groups, ctx: TaskContext):
+        job.reducer.setup(ctx)
+        keys = list(groups)
+        if job.sort_keys:
+            keys.sort(key=job.key_sort_fn)
+        outputs: List[Any] = []
+        n_in = 0
+        for key in keys:
+            values = groups[key]
+            n_in += len(values)
+            outputs.extend(job.reducer.reduce(key, values, ctx))
+        outputs.extend(job.reducer.cleanup(ctx))
+        return outputs, n_in
+
+    # ------------------------------------------------------------------
+    def _resolve_blocks(
+        self, input_data, block_records: int | None
+    ) -> List[Sequence]:
+        if isinstance(input_data, str):
+            input_data = self.hdfs.get(input_data)
+        if isinstance(input_data, HDFSFile):
+            return [block.records for block in input_data.blocks]
+        records = list(input_data)
+        size = block_records or self.cluster.hdfs_block_records
+        if not records:
+            return [()]
+        return [
+            tuple(records[i:i + size]) for i in range(0, len(records), size)
+        ]
+
+    @staticmethod
+    def _record_kv(record) -> tuple:
+        """Input records may be ``(key, value)`` pairs or bare values."""
+        if isinstance(record, tuple) and len(record) == 2:
+            return record
+        return None, record
+
+    @staticmethod
+    def _combine(job: MapReduceJob, pairs: List[tuple], ctx: TaskContext) -> List[tuple]:
+        groups: Dict[Any, List[Any]] = defaultdict(list)
+        for key, value in pairs:
+            groups[key].append(value)
+        combined: List[tuple] = []
+        for key, values in groups.items():
+            for out in job.combiner.reduce(key, values, ctx):
+                combined.append(out)
+        return combined
+
+
+def _approx_size(obj: Any) -> int:
+    """Cheap shuffle-byte estimate; tuples/lists recurse one level."""
+    if isinstance(obj, (tuple, list)):
+        return sum(sys.getsizeof(x) for x in obj)
+    return sys.getsizeof(obj)

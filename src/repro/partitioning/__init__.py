@@ -1,0 +1,41 @@
+"""Partition plans and the five partitioning strategies of Sec. VI."""
+
+from .base import Partition, PartitionPlan
+from .grid_strategies import DomainPartitioner, UniSpacePartitioner
+from .sampled_strategies import (
+    CDrivenPartitioner,
+    DDrivenPartitioner,
+    DMTPartitioner,
+)
+from .serialize import load_plan, plan_from_dict, plan_to_dict, save_plan
+from .splitter import bucket_costs, split_by_cost, split_by_weight
+from .strategy import PartitioningStrategy, PlanRequest
+
+#: Registry used by the high-level API: name -> constructor.
+STRATEGY_REGISTRY = {
+    DomainPartitioner.name: DomainPartitioner,
+    UniSpacePartitioner.name: UniSpacePartitioner,
+    DDrivenPartitioner.name: DDrivenPartitioner,
+    CDrivenPartitioner.name: CDrivenPartitioner,
+    DMTPartitioner.name: DMTPartitioner,
+}
+
+__all__ = [
+    "Partition",
+    "PartitionPlan",
+    "PartitioningStrategy",
+    "PlanRequest",
+    "DomainPartitioner",
+    "UniSpacePartitioner",
+    "DDrivenPartitioner",
+    "CDrivenPartitioner",
+    "DMTPartitioner",
+    "STRATEGY_REGISTRY",
+    "bucket_costs",
+    "split_by_cost",
+    "split_by_weight",
+    "plan_to_dict",
+    "plan_from_dict",
+    "save_plan",
+    "load_plan",
+]

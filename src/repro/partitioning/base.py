@@ -1,0 +1,218 @@
+"""Partition plans: the map-side output of every strategy (Sec. III-C).
+
+A :class:`PartitionPlan` is a set of pairwise-disjoint rectangles covering
+the domain, optionally annotated with
+
+* an **algorithm plan** (partition id -> detector name, Def. 3.4) and
+* an **allocation plan** (partition id -> reducer index, Sec. V-A step 3).
+
+The plan answers the two questions the DOD mapper asks per point (Fig. 3):
+which partition is this point *core* in, and which partitions is it a
+*support* point for (Def. 3.3: the partitions whose ``r``-expansion contains
+it).  Point-in-partition resolution is exact: shared faces are half-open so
+each point is core in exactly one partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry import Rect, UniformGrid
+
+__all__ = ["Partition", "PartitionPlan"]
+
+
+@dataclass
+class Partition:
+    """One partition: geometry plus pre-processing estimates."""
+
+    pid: int
+    rect: Rect
+    est_points: float = 0.0
+    est_cost: float = 0.0
+    algorithm: Optional[str] = None
+
+    @property
+    def est_density(self) -> float:
+        area = self.rect.area
+        if area <= 0:
+            return float("inf")
+        return self.est_points / area
+
+
+@dataclass
+class PartitionPlan:
+    """A complete partitioning of the domain, plus optional plans."""
+
+    domain: Rect
+    partitions: List[Partition]
+    allocation: Optional[Dict[int, int]] = None
+    strategy: str = "unknown"
+    preprocess_cost: float = 0.0
+    _lookup: UniformGrid | None = field(default=None, repr=False)
+    _lookup_cells: Dict[int, List[int]] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise ValueError("a plan needs at least one partition")
+        pids = [p.pid for p in self.partitions]
+        if len(set(pids)) != len(pids):
+            raise ValueError("partition ids must be unique")
+        self._build_lookup()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def partition(self, pid: int) -> Partition:
+        return self._by_pid[pid]
+
+    @property
+    def algorithm_plan(self) -> Dict[int, Optional[str]]:
+        return {p.pid: p.algorithm for p in self.partitions}
+
+    # ------------------------------------------------------------------
+    # Point resolution
+    # ------------------------------------------------------------------
+    def core_pid(self, point: Sequence[float]) -> int:
+        """The single partition in which ``point`` is a core point."""
+        flat = self._lookup.flat_index(self._lookup.cell_of(point))
+        for pid in self._lookup_cells.get(flat, ()):
+            part = self._by_pid[pid]
+            if part.rect.contains_half_open(point, self.domain):
+                return pid
+        # Points outside the declared domain (possible when the domain was
+        # estimated from a sample) snap to the nearest partition center.
+        return self._nearest_pid(point)
+
+    def support_pids(self, point: Sequence[float], r: float) -> List[int]:
+        """Partitions for which ``point`` is a support point (Def. 3.3).
+
+        These are the partitions whose ``r``-expanded box contains the
+        point, excluding the point's own core partition.
+        """
+        core = self.core_pid(point)
+        probe = Rect(
+            tuple(x - r for x in point), tuple(x + r for x in point)
+        )
+        out: List[int] = []
+        seen = set()
+        for flat_cell in self._lookup.cells_within(probe):
+            flat = self._lookup.flat_index(flat_cell)
+            for pid in self._lookup_cells.get(flat, ()):
+                if pid == core or pid in seen:
+                    continue
+                if self._by_pid[pid].rect.expand(r).contains(point):
+                    out.append(pid)
+                    seen.add(pid)
+        return out
+
+    def core_pids_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`core_pid` for an ``(n, d)`` array."""
+        core, _ = self.assign_batch(points, r=None)
+        return core
+
+    def assign_batch(
+        self, points: np.ndarray, r: float | None
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Vectorized core and support assignment for a point block.
+
+        Returns ``(core_pids, support_pairs)`` where ``support_pairs`` is a
+        ``(k, 2)`` array of ``(point_row, pid)`` support assignments (or
+        None when ``r`` is None).  One broadcast over all partitions — the
+        per-record cost of a real MapReduce mapper, without a Python loop
+        per point.
+        """
+        points = np.asarray(points, dtype=float)
+        n = points.shape[0]
+        lows = self._lows  # (m, d)
+        highs = self._highs
+        pids = self._pids
+        dom_high = np.asarray(self.domain.high)
+
+        expanded = points[:, None, :]  # (n, m, d) via broadcasting
+        ge = expanded >= lows[None, :, :]
+        lt = np.where(
+            highs[None, :, :] < dom_high[None, None, :],
+            expanded < highs[None, :, :],
+            expanded <= highs[None, :, :],
+        )
+        core_mask = (ge & lt).all(axis=2)  # (n, m)
+        core_pos = core_mask.argmax(axis=1)
+        covered = core_mask.any(axis=1)
+        core = pids[core_pos]
+        for i in np.nonzero(~covered)[0]:
+            core[i] = self._nearest_pid(points[i])
+
+        if r is None:
+            return core, None
+        support_mask = (
+            (expanded >= (lows - r)[None, :, :])
+            & (expanded <= (highs + r)[None, :, :])
+        ).all(axis=2)
+        # A point never supports its own core partition.
+        rows = np.arange(n)
+        own = np.nonzero(covered)[0]
+        support_mask[own, core_pos[own]] = False
+        for i in np.nonzero(~covered)[0]:
+            pos = np.nonzero(pids == core[i])[0]
+            if pos.size:
+                support_mask[i, pos[0]] = False
+        srows, spos = np.nonzero(support_mask)
+        pairs = np.stack([srows, pids[spos]], axis=1)
+        return core, pairs
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_lookup(self) -> None:
+        self._by_pid = {p.pid: p for p in self.partitions}
+        self._lows = np.asarray([p.rect.low for p in self.partitions])
+        self._highs = np.asarray([p.rect.high for p in self.partitions])
+        self._pids = np.asarray(
+            [p.pid for p in self.partitions], dtype=np.int64
+        )
+        # Resolution: a few lookup cells per partition keeps candidate
+        # lists short without large memory for plans with many partitions.
+        n_cells = min(4096, max(64, 4 * len(self.partitions)))
+        self._lookup = UniformGrid.with_cells(self.domain, n_cells)
+        cells: Dict[int, List[int]] = {}
+        for part in self.partitions:
+            for idx in self._lookup.cells_within(part.rect):
+                cells.setdefault(self._lookup.flat_index(idx), []).append(
+                    part.pid
+                )
+        self._lookup_cells = cells
+
+    def _nearest_pid(self, point: Sequence[float]) -> int:
+        point = np.asarray(point, dtype=float)
+        best_pid, best_d = self.partitions[0].pid, float("inf")
+        for part in self.partitions:
+            clamped = np.clip(point, part.rect.low, part.rect.high)
+            d = float(np.sum((clamped - point) ** 2))
+            if d < best_d:
+                best_pid, best_d = part.pid, d
+        return best_pid
+
+    # ------------------------------------------------------------------
+    def validate_tiling(self, samples: np.ndarray | None = None) -> None:
+        """Sanity checks: disjoint interiors and (sampled) full coverage.
+
+        Raises ``ValueError`` on violation.  O(m^2); intended for tests.
+        """
+        parts = self.partitions
+        for i in range(len(parts)):
+            for j in range(i + 1, len(parts)):
+                if parts[i].rect.overlaps_interior(parts[j].rect):
+                    raise ValueError(
+                        f"partitions {parts[i].pid} and {parts[j].pid} "
+                        "overlap"
+                    )
+        if samples is not None:
+            pids = self.core_pids_batch(samples)
+            if (pids < 0).any():
+                raise ValueError("some sample points are uncovered")

@@ -1,0 +1,257 @@
+"""Weighted recursive splitting of the mini-bucket grid.
+
+DDriven and CDriven both carve the domain into ``m`` partitions by
+recursively splitting the heaviest region at its weighted median — they
+differ only in the *weight*: estimated point count for DDriven
+(cardinality-based balancing) versus estimated detection cost for CDriven
+(cost-based balancing, the paper's contribution).
+
+Splits always land on mini-bucket boundaries, so the resulting rectangles
+tile the domain exactly (no floating-point seams) and per-partition
+statistics are exact sums of bucket statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import OutlierParams
+from ..costmodel import estimate_cost
+from ..geometry import Rect
+from ..sampling import MiniBucketStats
+
+__all__ = ["bucket_costs", "split_by_cost", "split_by_weight", "region_rect"]
+
+
+def bucket_costs(
+    stats: MiniBucketStats, algorithm: str, params: OutlierParams
+) -> np.ndarray:
+    """Per-bucket detection cost using each bucket's *local* density.
+
+    The region-level cost models (Sec. IV) assume uniform density.  Real
+    regions are skewed, so we evaluate the model per mini bucket — inside a
+    bucket the uniformity assumption is as good as the resolution allows —
+    and let region costs be additive sums of bucket costs.  For a truly
+    uniform region both formulations agree.
+    """
+    grid = stats.grid
+    ndim = grid.domain.ndim
+    bucket_area = float(np.prod(grid.cell_widths))
+    costs = np.zeros(grid.n_cells, dtype=float)
+    for flat in stats.nonzero_buckets():
+        n = float(stats.counts[flat])
+        costs[flat] = estimate_cost(algorithm, n, bucket_area, params, ndim)
+    return costs
+
+
+@dataclass(frozen=True)
+class _Region:
+    """A box of bucket indices: ``lo[i] <= idx[i] < hi[i]``."""
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    @property
+    def splittable(self) -> bool:
+        return any(h - l > 1 for l, h in zip(self.lo, self.hi))
+
+    def buckets(self, shape: tuple[int, ...]):
+        """All flat bucket indices inside the region."""
+        ranges = [range(l, h) for l, h in zip(self.lo, self.hi)]
+        for idx in itertools.product(*ranges):
+            flat = 0
+            for i, s in zip(idx, shape):
+                flat = flat * s + i
+            yield flat
+
+
+def region_rect(stats: MiniBucketStats, lo, hi) -> Rect:
+    """Domain rect of a bucket-index box (corner cells' outer faces)."""
+    grid = stats.grid
+    low_cell = grid.cell_rect(tuple(lo))
+    high_cell = grid.cell_rect(tuple(h - 1 for h in hi))
+    return Rect(low_cell.low, high_cell.high)
+
+
+def split_by_cost(
+    stats: MiniBucketStats,
+    cost_fn,
+    m: int,
+) -> list[_Region]:
+    """Split the bucket grid into up to ``m`` regions of balanced cost.
+
+    ``cost_fn(n, area) -> float`` is the partition-level cost model (the
+    paper's Sec. IV lemmas, or simply ``n`` for cardinality balancing).
+    Greedy heaviest-first: pop the costliest splittable region and cut it
+    along its longest axis at the boundary minimizing the heavier child's
+    cost, which directly minimizes the eventual makespan contribution.
+    """
+    if m < 1:
+        raise ValueError("need m >= 1")
+    grid = stats.grid
+    shape = grid.shape
+    counts = np.asarray(stats.counts, dtype=float).reshape(shape)
+    widths = grid.cell_widths
+    bucket_area = float(np.prod(widths))
+
+    def region_cost(region: _Region) -> float:
+        slices = tuple(slice(l, h) for l, h in zip(region.lo, region.hi))
+        n = float(counts[slices].sum())
+        area = bucket_area * np.prod(
+            [h - l for l, h in zip(region.lo, region.hi)]
+        )
+        return float(cost_fn(n, area))
+
+    counter = itertools.count()
+    root = _Region((0,) * len(shape), tuple(shape))
+    heap = [(-region_cost(root), next(counter), root)]
+    done: list[_Region] = []
+    while heap and len(heap) + len(done) < m:
+        _, _, region = heapq.heappop(heap)
+        cut = _best_cost_cut(counts, region, widths, bucket_area, cost_fn)
+        if cut is None:
+            done.append(region)
+            continue
+        axis, pos = cut
+        left = _Region(
+            region.lo,
+            tuple(pos if i == axis else h for i, h in enumerate(region.hi)),
+        )
+        right = _Region(
+            tuple(pos if i == axis else l for i, l in enumerate(region.lo)),
+            region.hi,
+        )
+        heapq.heappush(heap, (-region_cost(left), next(counter), left))
+        heapq.heappush(heap, (-region_cost(right), next(counter), right))
+    return done + [r for _, _, r in heap]
+
+
+def _best_cost_cut(
+    counts: np.ndarray,
+    region: _Region,
+    cell_widths,
+    bucket_area: float,
+    cost_fn,
+) -> tuple[int, int] | None:
+    """The cut minimizing ``max(cost(left), cost(right))``.
+
+    Evaluated along the region's domain-longest splittable axis using
+    prefix sums of bucket counts (child areas are linear in the cut
+    position, so each boundary is O(1) to score).
+    """
+    extents = [
+        (h - l) * w for (l, h, w) in zip(region.lo, region.hi, cell_widths)
+    ]
+    axes = sorted(range(len(extents)), key=lambda i: extents[i],
+                  reverse=True)
+    slices = tuple(slice(l, h) for l, h in zip(region.lo, region.hi))
+    sub = counts[slices]
+    cross_section = np.prod(
+        [h - l for l, h in zip(region.lo, region.hi)]
+    )
+    for axis in axes:
+        length = region.hi[axis] - region.lo[axis]
+        if length <= 1:
+            continue
+        other_axes = tuple(i for i in range(sub.ndim) if i != axis)
+        marginal = sub.sum(axis=other_axes)
+        prefix = np.cumsum(marginal)
+        total = prefix[-1]
+        slab_area = bucket_area * cross_section / length
+        best_j, best_score = None, float("inf")
+        for j in range(length - 1):
+            n_left = float(prefix[j])
+            area_left = slab_area * (j + 1)
+            n_right = float(total - n_left)
+            area_right = slab_area * (length - j - 1)
+            score = max(
+                cost_fn(n_left, area_left), cost_fn(n_right, area_right)
+            )
+            if score < best_score:
+                best_j, best_score = j, score
+        if best_j is None:
+            continue
+        return axis, region.lo[axis] + best_j + 1
+    return None
+
+
+def split_by_weight(
+    stats: MiniBucketStats, weights: np.ndarray, m: int
+) -> list[_Region]:
+    """Split the bucket grid into up to ``m`` regions of balanced weight.
+
+    Greedy heaviest-first: pop the heaviest splittable region, cut it along
+    its longest axis at the weighted median bucket boundary, repeat.  The
+    result is a list of bucket-index boxes tiling the grid.
+    """
+    if m < 1:
+        raise ValueError("need m >= 1")
+    grid = stats.grid
+    shape = grid.shape
+    weights = np.asarray(weights, dtype=float).reshape(shape)
+
+    def region_weight(region: _Region) -> float:
+        slices = tuple(slice(l, h) for l, h in zip(region.lo, region.hi))
+        return float(weights[slices].sum())
+
+    root = _Region((0,) * len(shape), tuple(shape))
+    # Heap orders by descending weight; counter breaks ties deterministically.
+    counter = itertools.count()
+    heap = [(-region_weight(root), next(counter), root)]
+    done: list[_Region] = []
+    while heap and len(heap) + len(done) < m:
+        neg_w, _, region = heapq.heappop(heap)
+        cut = _best_cut(weights, region, grid.cell_widths)
+        if cut is None:
+            done.append(region)
+            continue
+        axis, pos = cut
+        left = _Region(
+            region.lo,
+            tuple(pos if i == axis else h for i, h in enumerate(region.hi)),
+        )
+        right = _Region(
+            tuple(pos if i == axis else l for i, l in enumerate(region.lo)),
+            region.hi,
+        )
+        heapq.heappush(heap, (-region_weight(left), next(counter), left))
+        heapq.heappush(heap, (-region_weight(right), next(counter), right))
+    return done + [r for _, _, r in heap]
+
+
+def _best_cut(
+    weights: np.ndarray, region: _Region, cell_widths
+) -> tuple[int, int] | None:
+    """Weighted-median cut along the (domain-)longest splittable axis."""
+    extents = [
+        (h - l) * w
+        for (l, h, w) in zip(region.lo, region.hi, cell_widths)
+    ]
+    axes = sorted(
+        range(len(extents)), key=lambda i: extents[i], reverse=True
+    )
+    slices = tuple(slice(l, h) for l, h in zip(region.lo, region.hi))
+    sub = weights[slices]
+    for axis in axes:
+        if region.hi[axis] - region.lo[axis] <= 1:
+            continue
+        other_axes = tuple(i for i in range(sub.ndim) if i != axis)
+        marginal = sub.sum(axis=other_axes)
+        prefix = np.cumsum(marginal)
+        total = prefix[-1]
+        if total <= 0:
+            # Weightless region: cut in the middle to keep geometry sane.
+            mid = (region.hi[axis] - region.lo[axis]) // 2
+            return axis, region.lo[axis] + mid
+        # Boundary after local index j has left weight prefix[j]; choose
+        # the boundary closest to half, keeping both sides non-empty.
+        candidates = range(0, len(marginal) - 1)
+        best = min(
+            candidates, key=lambda j: abs(prefix[j] - total / 2.0)
+        )
+        return axis, region.lo[axis] + best + 1
+    return None

@@ -1,0 +1,71 @@
+"""Partitioning strategy interface (the map-side half of Sec. VI-A).
+
+A strategy turns a dataset (plus the outlier parameters and a target
+partition/reducer count) into a :class:`~repro.partitioning.base.
+PartitionPlan`.  Strategies that need data statistics run the sampling
+pre-processing job on the provided runtime; strategies that don't (Domain,
+uniSpace) build their plan from the domain geometry alone — which is
+exactly why they appear with zero pre-processing cost in Fig. 10(a).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+from ..params import OutlierParams
+from ..geometry import Rect
+from ..mapreduce import LocalRuntime
+from .base import PartitionPlan
+
+__all__ = ["PlanRequest", "PartitioningStrategy"]
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """Everything a strategy needs to build a plan."""
+
+    domain: Rect
+    params: OutlierParams
+    n_partitions: int
+    n_reducers: int
+    n_buckets: int = 1024
+    sample_rate: float = 0.005
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError("need at least one partition")
+        if self.n_reducers < 1:
+            raise ValueError("need at least one reducer")
+
+
+class PartitioningStrategy(abc.ABC):
+    """Base class for the five strategies of the experimental study."""
+
+    #: Identifier used in experiment tables ("Domain", "uniSpace", ...).
+    name: str = "strategy"
+
+    #: Whether plans carry supporting areas (False only for Domain, which
+    #: pays a second MapReduce job instead).
+    uses_support_area: bool = True
+
+    @abc.abstractmethod
+    def build_plan(
+        self, runtime: LocalRuntime, input_data, request: PlanRequest
+    ) -> PartitionPlan:
+        """Build the partition plan for ``input_data``.
+
+        ``input_data`` is an HDFS file name/handle or a record list of
+        ``(id, point)`` pairs (used only by strategies that sample).
+        """
+
+    def timed_plan(
+        self, runtime: LocalRuntime, input_data, request: PlanRequest
+    ) -> PartitionPlan:
+        """Build a plan, recording wall-clock pre-processing time."""
+        start = time.perf_counter()
+        plan = self.build_plan(runtime, input_data, request)
+        plan.preprocess_cost = time.perf_counter() - start
+        return plan

@@ -1,0 +1,5 @@
+"""Distributed sampling and mini-bucket statistics (DMT stage 1)."""
+
+from .minibuckets import MiniBucketStats, collect_minibucket_stats
+
+__all__ = ["MiniBucketStats", "collect_minibucket_stats"]

@@ -1,0 +1,171 @@
+"""Mini-bucket statistics (stage 1 of the DMT pre-processing job, Sec. V-A).
+
+DMT discretizes the domain into a fine grid of *mini buckets* and estimates
+the per-bucket point count from a small random sample (default rate 0.5%,
+matching the paper).  The statistics are computed by a MapReduce job:
+
+* **map**: Bernoulli-sample each record, emit ``(bucket_id, 1)`` for kept
+  points;
+* **combine**: sum counts locally (so the shuffle carries one record per
+  bucket per map task, not one per sampled point);
+* **reduce** (single reducer, as in the paper's Fig. 6): aggregate into the
+  final bucket table, scaled back up by the sampling rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import Rect, UniformGrid
+from ..mapreduce import (
+    LocalRuntime,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+    TaskContext,
+)
+
+__all__ = ["MiniBucketStats", "collect_minibucket_stats"]
+
+
+@dataclass(frozen=True)
+class MiniBucketStats:
+    """Estimated per-bucket counts of the full dataset."""
+
+    grid: UniformGrid
+    counts: np.ndarray  # (n_buckets,) float — estimated full-data counts
+    sample_rate: float
+    sampled_points: int
+
+    def __post_init__(self) -> None:
+        if self.counts.shape != (self.grid.n_cells,):
+            raise ValueError("counts must have one entry per bucket")
+
+    @property
+    def estimated_total(self) -> float:
+        return float(self.counts.sum())
+
+    def bucket_rect(self, flat: int) -> Rect:
+        return self.grid.cell_rect(self.grid.unflatten(flat))
+
+    def bucket_density(self, flat: int) -> float:
+        rect = self.bucket_rect(flat)
+        area = rect.area
+        return float(self.counts[flat]) / area if area > 0 else float("inf")
+
+    def nonzero_buckets(self) -> np.ndarray:
+        return np.nonzero(self.counts)[0]
+
+
+class _SampleMapper(Mapper):
+    """Deterministic Bernoulli sampling keyed on the point id.
+
+    Hashing the id (rather than drawing from a per-task RNG) makes the
+    sample independent of HDFS block layout, which keeps plans reproducible
+    across block-size choices.
+    """
+
+    def __init__(self, grid: UniformGrid, rate: float, seed: int) -> None:
+        if not 0 < rate <= 1:
+            raise ValueError("sampling rate must be in (0, 1]")
+        self.grid = grid
+        self.rate = rate
+        self.seed = seed
+
+    def map(self, key, value, ctx: TaskContext):
+        pid, point = key, value
+        if not self._keep(pid):
+            return
+        ctx.counters.incr("sampling", "kept")
+        bucket = self.grid.flat_index(self.grid.cell_of(point))
+        yield bucket, 1
+
+    def map_block(self, records, ctx: TaskContext):
+        """Vectorized path: sample the block and pre-aggregate counts.
+
+        Emitting ``(bucket, count)`` directly is exactly what the combiner
+        would produce from the per-record pairs, so the reducer sees the
+        same input either way.
+        """
+        if not records:
+            return []
+        ids = np.asarray([r[0] for r in records], dtype=np.uint64)
+        keep = self._keep_mask(ids)
+        kept = int(keep.sum())
+        ctx.counters.incr("sampling", "kept", kept)
+        if kept == 0:
+            return []
+        points = np.asarray(
+            [r[1] for r in records], dtype=float
+        )[keep]
+        flats = self.grid.flat_indices(self.grid.cells_of(points))
+        counts = np.bincount(flats, minlength=self.grid.n_cells)
+        return [
+            (int(bucket), int(count))
+            for bucket, count in zip(np.nonzero(counts)[0],
+                                     counts[np.nonzero(counts)[0]])
+        ]
+
+    def _keep(self, pid: int) -> bool:
+        x = self._splitmix(np.asarray([pid], dtype=np.uint64))[0]
+        return (int(x) / 2**64) < self.rate
+
+    def _keep_mask(self, pids: np.ndarray) -> np.ndarray:
+        hashes = self._splitmix(pids)
+        return (hashes / float(2**64)) < self.rate
+
+    def _splitmix(self, x: np.ndarray) -> np.ndarray:
+        """splitmix64 hash: uniform, deterministic, seedable.
+
+        Pure uint64 arithmetic (wrap-around on overflow), vectorized.
+        """
+        with np.errstate(over="ignore"):
+            x = x + np.uint64(
+                (self.seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            )
+            x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            x = x ^ (x >> np.uint64(31))
+        return x
+
+
+class _SumCombiner(Reducer):
+    def reduce(self, key, values, ctx: TaskContext):
+        yield key, sum(values)
+
+
+class _CollectReducer(Reducer):
+    def reduce(self, key, values, ctx: TaskContext):
+        yield key, sum(values)
+
+
+def collect_minibucket_stats(
+    runtime: LocalRuntime,
+    input_data,
+    domain: Rect,
+    n_buckets: int = 1024,
+    rate: float = 0.005,
+    seed: int = 1,
+) -> MiniBucketStats:
+    """Run the sampling job and assemble :class:`MiniBucketStats`.
+
+    ``input_data`` is an HDFS file (or record list) of ``(id, point)``
+    records.  ``n_buckets`` is the approximate mini-bucket count; the grid
+    is balanced across dimensions.
+    """
+    grid = UniformGrid.with_cells(domain, n_buckets)
+    job = MapReduceJob(
+        name="dmt-preprocess-sampling",
+        mapper=_SampleMapper(grid, rate, seed),
+        reducer=_CollectReducer(),
+        combiner=_SumCombiner(),
+        n_reducers=1,  # plan generation is centralized, per the paper
+    )
+    result = runtime.run(job, input_data)
+    counts = np.zeros(grid.n_cells, dtype=float)
+    for bucket, count in result.outputs:
+        counts[bucket] = count / rate
+    kept = result.counters.get("sampling", "kept")
+    return MiniBucketStats(grid, counts, rate, kept)

@@ -1,0 +1,104 @@
+"""Terminal visualization helpers.
+
+Partition plans and density structure are spatial objects; a quick ASCII
+rendering is often the fastest way to sanity-check what a strategy did.
+These helpers are deterministic and dependency-free, so examples and
+docs can embed their output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.dataset import Dataset
+from .geometry import UniformGrid
+from .partitioning import PartitionPlan
+
+__all__ = ["render_density", "render_plan", "render_plan_algorithms"]
+
+#: Density shading ramp, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def render_density(
+    dataset: Dataset, width: int = 60, height: int = 24
+) -> str:
+    """An ASCII heat map of point density over the dataset's bounds."""
+    grid = UniformGrid(dataset.bounds, (width, height))
+    cells = grid.cells_of(dataset.points)
+    flat = grid.flat_indices(cells)
+    counts = np.bincount(flat, minlength=grid.n_cells).reshape(
+        (width, height)
+    )
+    peak = counts.max()
+    lines = []
+    for row in range(height - 1, -1, -1):  # y grows upward
+        chars = []
+        for col in range(width):
+            value = counts[col, row]
+            if peak == 0:
+                chars.append(" ")
+            else:
+                level = int(
+                    (len(_RAMP) - 1) * (value / peak) ** 0.5
+                )
+                chars.append(_RAMP[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_plan(
+    plan: PartitionPlan, width: int = 60, height: int = 24
+) -> str:
+    """Render which partition owns each cell of a display raster.
+
+    Partitions are labeled with a repeating alphanumeric alphabet; the
+    raster samples cell centers, so thin partitions may collapse at low
+    resolutions.
+    """
+    alphabet = (
+        "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "abcdefghijklmnopqrstuvwxyz"
+    )
+    grid = UniformGrid(plan.domain, (width, height))
+    label_of = {
+        p.pid: alphabet[i % len(alphabet)]
+        for i, p in enumerate(plan.partitions)
+    }
+    lines = []
+    for row in range(height - 1, -1, -1):
+        chars = []
+        for col in range(width):
+            center = grid.cell_rect((col, row)).center
+            chars.append(label_of[plan.core_pid(center)])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_plan_algorithms(
+    plan: PartitionPlan, width: int = 60, height: int = 24
+) -> str:
+    """Render the algorithm plan: one character per detector.
+
+    ``N`` nested_loop, ``C`` cell_based, ``R`` cell_based_ring,
+    ``K`` kdtree, ``P`` pivot, ``.`` unassigned.
+    """
+    symbol = {
+        "nested_loop": "N",
+        "cell_based": "C",
+        "cell_based_ring": "R",
+        "kdtree": "K",
+        "pivot": "P",
+        None: ".",
+    }
+    grid = UniformGrid(plan.domain, (width, height))
+    by_pid = {p.pid: p for p in plan.partitions}
+    lines = []
+    for row in range(height - 1, -1, -1):
+        chars = []
+        for col in range(width):
+            center = grid.cell_rect((col, row)).center
+            part = by_pid[plan.core_pid(center)]
+            chars.append(symbol.get(part.algorithm, "?"))
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def csv_points(tmp_path):
+    rng = np.random.default_rng(0)
+    pts = np.vstack([
+        rng.normal((10, 10), 1.0, size=(300, 2)),
+        rng.uniform(0, 60, size=(20, 2)),
+    ])
+    path = tmp_path / "points.csv"
+    np.savetxt(path, pts, delimiter=",")
+    return str(path)
+
+
+class TestGenerate:
+    def test_state(self, tmp_path, capsys):
+        out = tmp_path / "ma.csv"
+        assert main(["generate", "--kind", "state", "--name", "MA",
+                     "-n", "500", "-o", str(out)]) == 0
+        data = np.loadtxt(out, delimiter=",")
+        assert data.shape == (500, 2)
+
+    def test_uniform_density(self, tmp_path):
+        out = tmp_path / "u.csv"
+        assert main(["generate", "--kind", "uniform", "-n", "400",
+                     "--density", "2.0", "-o", str(out)]) == 0
+        data = np.loadtxt(out, delimiter=",")
+        assert data.shape == (400, 2)
+
+    def test_tiger(self, tmp_path):
+        out = tmp_path / "t.csv"
+        assert main(["generate", "--kind", "tiger", "-n", "300",
+                     "-o", str(out)]) == 0
+
+
+class TestDetect:
+    def test_json_report(self, csv_points, tmp_path):
+        out = tmp_path / "report.json"
+        code = main([
+            "detect", csv_points, "-r", "2.0", "-k", "5",
+            "--strategy", "uniSpace", "-o", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["n_points"] == 320
+        assert report["n_outliers"] == len(report["outliers"])
+        assert report["strategy"] == "uniSpace"
+        assert set(report["breakdown_seconds"]) == {
+            "preprocess", "map", "reduce"
+        }
+
+    def test_stdout_report(self, csv_points, capsys):
+        assert main([
+            "detect", csv_points, "-r", "2.0", "-k", "5",
+            "--strategy", "uniSpace",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "outliers" in report
+
+    def test_matches_oracle(self, csv_points, tmp_path):
+        from repro.core import Dataset, OutlierParams, brute_force_outliers
+
+        out = tmp_path / "report.json"
+        main(["detect", csv_points, "-r", "2.0", "-k", "5",
+              "--strategy", "DMT", "-o", str(out)])
+        report = json.loads(out.read_text())
+        pts = np.loadtxt(csv_points, delimiter=",")
+        oracle = brute_force_outliers(
+            Dataset.from_points(pts), OutlierParams(r=2.0, k=5)
+        )
+        assert set(report["outliers"]) == oracle
+
+
+class TestPlanAndInfo:
+    def test_plan_roundtrip(self, csv_points, tmp_path):
+        from repro.partitioning import load_plan
+
+        out = tmp_path / "plan.json"
+        assert main([
+            "plan", csv_points, "-r", "2.0", "-k", "5",
+            "--strategy", "CDriven", "--partitions", "8",
+            "--reducers", "4", "-o", str(out),
+        ]) == 0
+        plan = load_plan(str(out))
+        assert plan.strategy == "CDriven"
+        assert plan.n_partitions >= 1
+
+    def test_info(self, csv_points, capsys):
+        assert main(["info", csv_points]) == 0
+        out = capsys.readouterr().out
+        assert "points:  320" in out
+        assert "density" in out
+
+    def test_with_ids(self, tmp_path, capsys):
+        pts = np.hstack([
+            np.arange(10)[:, None] * 7,  # ids 0,7,14,...
+            np.random.default_rng(1).uniform(0, 5, size=(10, 2)),
+        ])
+        path = tmp_path / "ids.csv"
+        np.savetxt(path, pts, delimiter=",")
+        assert main(["info", str(path), "--with-ids"]) == 0
+        assert "points:  10" in capsys.readouterr().out

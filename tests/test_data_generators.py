@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    REGION_SCALES,
+    STATE_DENSITIES,
+    clustered_mixture,
+    dense_sparse_pair,
+    density_dataset,
+    density_sweep,
+    distort_replicate,
+    gaussian_clusters,
+    region_dataset,
+    state_dataset,
+    tiger_like,
+    uniform,
+)
+from repro.geometry import Rect
+
+
+class TestBasicGenerators:
+    def test_uniform_bounds_and_count(self):
+        domain = Rect((0.0, 0.0), (10.0, 20.0))
+        data = uniform(500, domain, seed=0)
+        assert data.n == 500
+        assert data.points[:, 0].min() >= 0
+        assert data.points[:, 1].max() <= 20
+
+    def test_uniform_deterministic(self):
+        domain = Rect((0.0,), (1.0,))
+        a = uniform(100, domain, seed=7)
+        b = uniform(100, domain, seed=7)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_gaussian_clusters_clip(self):
+        domain = Rect((0.0, 0.0), (10.0, 10.0))
+        data = gaussian_clusters(
+            1000, np.array([[0.0, 0.0]]), [5.0], clip=domain, seed=1
+        )
+        assert data.n == 1000
+        assert domain.contains_mask(data.points).all()
+
+    def test_gaussian_clusters_weights(self):
+        centers = np.array([[0.0, 0.0], [100.0, 100.0]])
+        data = gaussian_clusters(
+            1000, centers, [0.1, 0.1], weights=[0.9, 0.1], seed=2
+        )
+        near_first = (data.points[:, 0] < 50).sum()
+        assert near_first > 800
+
+    def test_clustered_mixture_count(self):
+        domain = Rect((0.0, 0.0), (50.0, 50.0))
+        data = clustered_mixture(2000, domain, n_clusters=5, seed=3)
+        assert data.n == 2000
+        assert domain.contains_mask(data.points).all()
+
+
+class TestFigureDatasets:
+    def test_dense_sparse_pair_density_ratio(self):
+        dense, sparse = dense_sparse_pair(n=5000, density_ratio=4.0, seed=0)
+        assert dense.n == sparse.n == 5000
+        ratio = dense.density / sparse.density
+        assert ratio == pytest.approx(4.0, rel=0.1)
+
+    def test_density_dataset_hits_target(self):
+        for rho in (0.01, 1.0, 25.0):
+            data = density_dataset(5000, rho, seed=1)
+            assert data.density == pytest.approx(rho, rel=0.05)
+
+    def test_density_dataset_invalid(self):
+        with pytest.raises(ValueError):
+            density_dataset(100, 0.0)
+
+    def test_density_sweep(self):
+        sets = density_sweep([0.1, 1.0, 10.0], n=1000)
+        assert len(sets) == 3
+        assert all(d.n == 1000 for d in sets)
+
+    def test_state_densities_ordered(self):
+        datasets = {
+            s: state_dataset(s, n=20_000, seed=0) for s in STATE_DENSITIES
+        }
+        measured = {s: d.density for s, d in datasets.items()}
+        assert measured["OH"] < measured["MA"] < measured["CA"]
+        assert measured["CA"] < measured["NY"] * 1.3  # CA ~ NY, both dense
+
+    def test_state_equal_cardinality(self):
+        for s in STATE_DENSITIES:
+            assert state_dataset(s, n=5000, seed=0).n == 5000
+
+    def test_unknown_state(self):
+        with pytest.raises(ValueError):
+            state_dataset("TX")
+
+    def test_region_hierarchy_doubles(self):
+        sizes = {
+            r: region_dataset(r, base_n=1000, seed=0).n
+            for r in REGION_SCALES
+        }
+        assert sizes["NE"] == 2 * sizes["MA"]
+        assert sizes["US"] == 4 * sizes["MA"]
+        assert sizes["Planet"] == 8 * sizes["MA"]
+
+    def test_region_growing_skew(self):
+        """Bigger regions span a wider density range across tiles."""
+        small = region_dataset("MA", base_n=2000, seed=0)
+        big = region_dataset("Planet", base_n=2000, seed=0)
+        assert big.bounds.widths[0] > small.bounds.widths[0]
+
+    def test_unknown_region(self):
+        with pytest.raises(ValueError):
+            region_dataset("Mars")
+
+    def test_tiger_like_skewed(self):
+        data = tiger_like(n=5000, seed=0)
+        assert data.n == 5000
+        # Road data is skewed at fine granularity: line-following points
+        # concentrate in a minority of a fine histogram's cells.
+        hist, _, _ = np.histogram2d(
+            data.points[:, 0], data.points[:, 1], bins=20
+        )
+        assert hist.max() > 4 * hist.mean()
+
+    def test_distort_replicate(self):
+        base = uniform(500, Rect((0.0, 0.0), (10.0, 10.0)), seed=1)
+        big = distort_replicate(base, copies=3, magnitude=0.01, seed=2)
+        assert big.n == 4 * base.n
+        # Replicas stay near their originals.
+        np.testing.assert_allclose(
+            big.points[:500], base.points, atol=1e-12
+        )
+        assert np.abs(big.points[500:1000] - base.points).max() <= 0.1 + 1e-9
+
+    def test_generators_deterministic(self):
+        a = state_dataset("MA", n=2000, seed=5)
+        b = state_dataset("MA", n=2000, seed=5)
+        np.testing.assert_array_equal(a.points, b.points)
+        c = region_dataset("NE", base_n=500, seed=5)
+        d = region_dataset("NE", base_n=500, seed=5)
+        np.testing.assert_array_equal(c.points, d.points)

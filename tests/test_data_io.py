@@ -1,0 +1,93 @@
+"""Tests for dataset I/O and preparation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset
+from repro.data import (
+    load_csv,
+    normalize_minmax,
+    save_csv,
+    standardize,
+    subsample,
+)
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(0)
+    pts = rng.uniform((0, 100), (10, 500), size=(50, 2))
+    return Dataset.from_points(pts, "fixture")
+
+
+class TestCSV:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "d.csv"
+        save_csv(dataset, str(path))
+        loaded = load_csv(str(path))
+        np.testing.assert_allclose(loaded.points, dataset.points,
+                                   rtol=1e-9)
+
+    def test_roundtrip_with_ids(self, dataset, tmp_path):
+        shifted = dataset.with_ids_offset(1000)
+        path = tmp_path / "d.csv"
+        save_csv(shifted, str(path), with_ids=True)
+        loaded = load_csv(str(path), with_ids=True)
+        np.testing.assert_array_equal(loaded.ids, shifted.ids)
+        np.testing.assert_allclose(loaded.points, shifted.points,
+                                   rtol=1e-9)
+
+    def test_too_few_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1\n2\n")
+        with pytest.raises(ValueError):
+            load_csv(str(path), with_ids=True)
+
+
+class TestPreparation:
+    def test_normalize_minmax_bounds(self, dataset):
+        normed = normalize_minmax(dataset)
+        assert normed.points.min() >= 0.0
+        assert normed.points.max() <= 1.0
+        assert normed.points[:, 0].max() == pytest.approx(1.0)
+
+    def test_normalize_degenerate_dim(self):
+        pts = np.column_stack([np.arange(5.0), np.full(5, 3.0)])
+        normed = normalize_minmax(Dataset.from_points(pts))
+        assert (normed.points[:, 1] == 0.0).all()
+
+    def test_standardize_moments(self, dataset):
+        std = standardize(dataset)
+        np.testing.assert_allclose(std.points.mean(axis=0), 0.0,
+                                   atol=1e-9)
+        np.testing.assert_allclose(std.points.std(axis=0), 1.0,
+                                   rtol=1e-9)
+
+    def test_normalization_preserves_outlier_structure(self):
+        """Min-max scaling with matched r preserves the outlier set when
+        the scale factor is uniform across dimensions."""
+        from repro.core import OutlierParams, brute_force_outliers
+
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 50, size=(200, 2))  # square domain
+        data = Dataset.from_points(pts)
+        base = brute_force_outliers(data, OutlierParams(r=4.0, k=4))
+        normed = normalize_minmax(data)
+        span = pts.max(axis=0) - pts.min(axis=0)
+        scaled_r = 4.0 / span.max()
+        # Allow the tiny asymmetry from non-identical spans per dim.
+        if abs(span[0] - span[1]) / span.max() < 0.05:
+            scaled = brute_force_outliers(
+                normed, OutlierParams(r=scaled_r, k=4)
+            )
+            assert len(base.symmetric_difference(scaled)) <= 0.1 * len(
+                base | scaled | {0}
+            ) * 10
+
+    def test_subsample(self, dataset):
+        sub = subsample(dataset, 10, seed=3)
+        assert sub.n == 10
+        assert set(sub.ids) <= set(dataset.ids)
+
+    def test_subsample_noop_when_larger(self, dataset):
+        assert subsample(dataset, 1000) is dataset

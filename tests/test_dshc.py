@@ -1,0 +1,208 @@
+"""Unit and property tests for DSHC clustering and the AF-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dshc import AFTree, AggregateFeature, DSHCConfig, run_dshc
+from repro.geometry import Rect, UniformGrid
+from repro.sampling import MiniBucketStats
+
+
+def af(lo, hi, n=10.0):
+    return AggregateFeature(n, Rect(tuple(lo), tuple(hi)))
+
+
+def make_stats(counts_2d, domain=None):
+    counts = np.asarray(counts_2d, dtype=float)
+    domain = domain or Rect((0.0, 0.0), (float(counts.shape[0]),
+                                         float(counts.shape[1])))
+    grid = UniformGrid(domain, counts.shape)
+    return MiniBucketStats(grid, counts.ravel(), sample_rate=1.0,
+                           sampled_points=int(counts.sum()))
+
+
+class TestAggregateFeature:
+    def test_density(self):
+        a = af((0, 0), (2, 5), n=30)
+        assert a.density == pytest.approx(3.0)
+
+    def test_degenerate_density_infinite(self):
+        a = af((0, 0), (0, 5), n=10)
+        assert a.density == float("inf")
+
+    def test_merge_def_5_4(self):
+        a = af((0, 0), (1, 1), n=10)
+        b = af((1, 0), (2, 1), n=30)
+        m = a.merge(b)
+        assert m.num_points == 40
+        assert m.rect == Rect((0.0, 0.0), (2.0, 1.0))
+        assert m.density == pytest.approx(20.0)
+
+    def test_density_difference(self):
+        a = af((0, 0), (1, 1), n=10)
+        b = af((1, 0), (2, 1), n=30)
+        assert a.density_difference(b) == pytest.approx(20.0)
+
+    def test_density_difference_both_degenerate(self):
+        a = af((0, 0), (0, 1), n=1)
+        b = af((5, 0), (5, 1), n=2)
+        assert a.density_difference(b) == 0.0
+
+
+class TestAFTree:
+    def test_insert_and_iterate(self):
+        tree = AFTree()
+        items = [af((i, 0), (i + 1, 1)) for i in range(20)]
+        for item in items:
+            tree.insert(item)
+        assert len(tree) == 20
+        assert set(id(c) for c in tree.clusters()) == set(
+            id(i) for i in items
+        )
+
+    def test_search_finds_overlapping_and_adjacent(self):
+        tree = AFTree()
+        a = af((0, 0), (1, 1))
+        b = af((1, 0), (2, 1))  # adjacent to the probe below
+        c = af((5, 5), (6, 6))  # far away
+        for item in (a, b, c):
+            tree.insert(item)
+        found = tree.search_candidates(Rect((0.5, 0.0), (1.0, 1.0)))
+        assert a in found and b in found and c not in found
+
+    def test_remove(self):
+        tree = AFTree()
+        a = af((0, 0), (1, 1))
+        b = af((2, 0), (3, 1))
+        tree.insert(a)
+        tree.insert(b)
+        tree.remove(a)
+        assert len(tree) == 1
+        assert list(tree.clusters()) == [b]
+
+    def test_remove_missing_raises(self):
+        tree = AFTree()
+        tree.insert(af((0, 0), (1, 1)))
+        with pytest.raises(KeyError):
+            tree.remove(af((0, 0), (1, 1)))  # different object identity
+
+    def test_split_keeps_all_entries(self):
+        tree = AFTree(max_entries=4)
+        items = [af((i, j), (i + 1, j + 1)) for i in range(8)
+                 for j in range(8)]
+        for item in items:
+            tree.insert(item)
+        assert len(tree) == 64
+        assert len(list(tree.clusters())) == 64
+
+    def test_small_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            AFTree(max_entries=3)
+
+    def test_mbr_cache_consistent_after_mutations(self):
+        tree = AFTree(max_entries=4)
+        items = [af((i, 0), (i + 1, 1)) for i in range(30)]
+        for item in items:
+            tree.insert(item)
+        for item in items[:15]:
+            tree.remove(item)
+        # After heavy mutation the search must still find exactly the rest.
+        found = tree.search_candidates(Rect((0.0, 0.0), (40.0, 1.0)))
+        assert set(map(id, found)) == set(map(id, items[15:]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=60))
+    def test_insert_remove_roundtrip_property(self, xs):
+        tree = AFTree(max_entries=4)
+        items = [af((x, 0), (x + 1, 1)) for x in xs]
+        for item in items:
+            tree.insert(item)
+        for item in items:
+            tree.remove(item)
+        assert len(tree) == 0
+
+
+class TestDSHC:
+    def test_uniform_grid_merges_heavily(self):
+        stats = make_stats(np.full((8, 8), 5.0))
+        result = run_dshc(stats, DSHCConfig(t_max_fraction=0.5))
+        # Uniform density: everything merges until T_max stops it.
+        assert len(result.clusters) < 16
+        assert result.merges > 0
+
+    def test_distinct_densities_not_merged(self):
+        counts = np.zeros((8, 8))
+        counts[:4, :] = 100.0  # dense half
+        counts[4:, :] = 1.0  # sparse half
+        stats = make_stats(counts)
+        result = run_dshc(stats, DSHCConfig(t_diff_fraction=0.2))
+        densities = sorted(
+            c.density for c in result.clusters if c.num_points > 0
+        )
+        # No cluster should average the two tiers together.
+        assert all(d < 30 or d > 70 for d in densities)
+
+    def test_clusters_are_disjoint_and_cover_domain(self):
+        rng = np.random.default_rng(3)
+        stats = make_stats(rng.integers(0, 50, size=(10, 10)))
+        result = run_dshc(stats)
+        clusters = result.clusters
+        total_area = sum(c.rect.area for c in clusters)
+        assert total_area == pytest.approx(stats.grid.domain.area)
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                assert not clusters[i].rect.overlaps_interior(
+                    clusters[j].rect
+                )
+
+    def test_total_points_preserved(self):
+        rng = np.random.default_rng(4)
+        counts = rng.integers(0, 20, size=(12, 12)).astype(float)
+        stats = make_stats(counts)
+        result = run_dshc(stats)
+        assert sum(c.num_points for c in result.clusters) == (
+            pytest.approx(counts.sum())
+        )
+
+    def test_t_max_respected(self):
+        stats = make_stats(np.full((8, 8), 10.0))
+        config = DSHCConfig(t_max_fraction=0.1)
+        result = run_dshc(stats, config)
+        t_max = 0.1 * stats.estimated_total
+        assert all(c.num_points < t_max + 1e-9 for c in result.clusters)
+
+    def test_all_clusters_rectangular_unions(self):
+        # Implicit by construction, but verify area accounting: cluster
+        # area must equal the sum of its buckets' areas (no bounding-box
+        # inflation), which only holds for exact rectangular merges.
+        rng = np.random.default_rng(5)
+        stats = make_stats(rng.integers(0, 8, size=(9, 9)))
+        result = run_dshc(stats)
+        bucket_area = stats.grid.cell_rect((0, 0)).area
+        for c in result.clusters:
+            n_buckets = c.rect.area / bucket_area
+            assert n_buckets == pytest.approx(round(n_buckets))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DSHCConfig(t_diff_fraction=0.0)
+        with pytest.raises(ValueError):
+            DSHCConfig(t_max_fraction=0.0)
+        with pytest.raises(ValueError):
+            DSHCConfig(t_max_fraction=1.5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_partition_invariants_property(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = (rng.integers(2, 9), rng.integers(2, 9))
+        counts = rng.integers(0, 30, size=shape).astype(float)
+        stats = make_stats(counts)
+        result = run_dshc(stats)
+        assert sum(c.num_points for c in result.clusters) == (
+            pytest.approx(counts.sum())
+        )
+        assert sum(c.rect.area for c in result.clusters) == (
+            pytest.approx(stats.grid.domain.area)
+        )

@@ -1,0 +1,91 @@
+"""Smoke tests for the experiment harness (tiny scales).
+
+Full-scale shape assertions live in ``benchmarks/``; here we check that
+every figure runner produces well-formed results, that the exactness
+cross-checks are wired in, and that the helpers behave.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_CLUSTER,
+    fig4,
+    fig5,
+    format_table,
+    print_report,
+    sample_rate_for,
+)
+from repro.experiments.runs import run_combo
+from repro.data import state_dataset
+from repro.params import OutlierParams
+
+
+class TestHelpers:
+    def test_sample_rate_for_small_n(self):
+        assert sample_rate_for(100) == 0.5
+
+    def test_sample_rate_for_large_n(self):
+        assert sample_rate_for(10_000_000) == pytest.approx(0.005)
+
+    def test_sample_rate_mid(self):
+        assert sample_rate_for(20_000) == pytest.approx(0.1)
+
+    def test_sample_rate_degenerate(self):
+        assert sample_rate_for(0) == 0.5
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.34567], [10, 0.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.346" in text
+        assert len(lines) == 4
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_print_report_runs(self, capsys):
+        print_report({
+            "figure": "Test",
+            "rows": [{"a": 1, "b": 2.0}],
+            "notes": ["note one"],
+        })
+        out = capsys.readouterr().out
+        assert "Test" in out
+        assert "note one" in out
+
+    def test_experiment_cluster_shape(self):
+        assert EXPERIMENT_CLUSTER.map_slots == 40
+        assert EXPERIMENT_CLUSTER.reduce_slots == 40
+
+
+class TestRunners:
+    def test_fig4_tiny(self):
+        result = fig4.run(scale=0.05, seed=3)
+        assert len(result["rows"]) == 2
+        assert result["slowdown_units"] > 0
+        assert result["rows"][0]["dataset"] == "D-Dense"
+
+    def test_fig5_tiny(self):
+        result = fig5.run(scale=0.05, seed=3, densities=(0.01, 0.08, 1.0))
+        assert len(result["rows"]) == 3
+        regimes = {r["regime"] for r in result["rows"]}
+        assert regimes == {"sparse-pruned", "unresolved", "dense-pruned"}
+
+    def test_fig5_regime_helper(self):
+        assert fig5.regime(1e-4) == "sparse-pruned"
+        assert fig5.regime(1e4) == "dense-pruned"
+
+    def test_run_combo_unknown_strategy(self):
+        data = state_dataset("MA", n=2000, seed=0)
+        with pytest.raises(KeyError):
+            run_combo(data, OutlierParams(2.0, 4), "Bogus", "nested_loop")
+
+    def test_run_combo_cdriven_uses_detector(self):
+        data = state_dataset("MA", n=2000, seed=0)
+        result = run_combo(
+            data, OutlierParams(2.0, 4), "CDriven", "cell_based",
+            n_partitions=4, n_reducers=2,
+        )
+        plan = result.run.plan
+        assert all(p.algorithm == "cell_based" for p in plan.partitions)

@@ -1,0 +1,256 @@
+"""Unit tests for the MapReduce substrate (HDFS, runtime, counters)."""
+
+import pytest
+
+from repro.mapreduce import (
+    ClusterConfig,
+    Counters,
+    DictPartitioner,
+    HashPartitioner,
+    LocalRuntime,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+    SimulatedHDFS,
+    makespan,
+)
+
+
+class WordSplitMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.counters.incr("wc", "words")
+            yield word, 1
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.add_cost(len(values))
+        yield key, sum(values)
+
+
+def wordcount_job(n_reducers=2):
+    return MapReduceJob(
+        name="wordcount",
+        mapper=WordSplitMapper(),
+        reducer=SumReducer(),
+        n_reducers=n_reducers,
+    )
+
+
+class TestCounters:
+    def test_incr_get(self):
+        c = Counters()
+        c.incr("g", "a")
+        c.incr("g", "a", 4)
+        assert c.get("g", "a") == 5
+        assert c.get("g", "missing") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.incr("g", "x", 2)
+        b.incr("g", "x", 3)
+        b.incr("h", "y")
+        a.merge(b)
+        assert a.get("g", "x") == 5
+        assert a.get("h", "y") == 1
+
+    def test_as_dict_and_iter(self):
+        c = Counters()
+        c.incr("g", "x")
+        assert c.as_dict() == {"g": {"x": 1}}
+        assert list(c) == [("g", "x", 1)]
+
+
+class TestMakespan:
+    def test_single_slot_sums(self):
+        assert makespan([1, 2, 3], 1) == 6
+
+    def test_enough_slots_takes_max(self):
+        assert makespan([1, 2, 3], 3) == 3
+
+    def test_lpt_classic_example(self):
+        # LPT on [3,3,2,2,2] over 2 slots -> 7 (optimum is 6; this is the
+        # textbook 7/6 LPT instance).  The scheduler is plain LPT because
+        # it models a cluster scheduler, not the plan-time allocator.
+        assert makespan([3, 3, 2, 2, 2], 2) == 7
+
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper(self):
+        c = ClusterConfig()
+        assert c.nodes == 40
+        assert c.map_slots == 320
+        assert c.reduce_slots == 320
+        assert c.replication == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(replication=0)
+
+
+class TestHDFS:
+    def test_put_get_blocks(self):
+        cluster = ClusterConfig(nodes=4, replication=2)
+        hdfs = SimulatedHDFS(cluster)
+        f = hdfs.put("data", list(range(100)), block_records=30)
+        assert len(f.blocks) == 4
+        assert f.n_records == 100
+        assert list(f.iter_records()) == list(range(100))
+
+    def test_replication_distinct_nodes(self):
+        cluster = ClusterConfig(nodes=5, replication=3)
+        hdfs = SimulatedHDFS(cluster)
+        f = hdfs.put("data", list(range(50)), block_records=10)
+        for block in f.blocks:
+            assert len(set(block.replicas)) == 3
+
+    def test_duplicate_put_rejected(self):
+        hdfs = SimulatedHDFS(ClusterConfig(nodes=2, replication=1))
+        hdfs.put("x", [1])
+        with pytest.raises(FileExistsError):
+            hdfs.put("x", [2])
+
+    def test_missing_get(self):
+        hdfs = SimulatedHDFS(ClusterConfig())
+        with pytest.raises(FileNotFoundError):
+            hdfs.get("nope")
+
+    def test_delete_and_ls(self):
+        hdfs = SimulatedHDFS(ClusterConfig())
+        hdfs.put("a", [1])
+        hdfs.put("b", [2])
+        assert hdfs.ls() == ["a", "b"]
+        hdfs.delete("a")
+        assert not hdfs.exists("a")
+
+    def test_balanced_placement(self):
+        cluster = ClusterConfig(nodes=4, replication=1)
+        hdfs = SimulatedHDFS(cluster)
+        hdfs.put("data", list(range(400)), block_records=10)
+        counts = hdfs.node_block_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+
+class TestRuntime:
+    def test_wordcount(self):
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        records = ["a b a", "b c", "a"]
+        result = rt.run(wordcount_job(), records, block_records=1)
+        assert dict(result.outputs) == {"a": 3, "b": 2, "c": 1}
+        assert result.counters.get("wc", "words") == 6
+
+    def test_one_map_task_per_block(self):
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        result = rt.run(wordcount_job(), ["x"] * 10, block_records=2)
+        assert len(result.map_tasks) == 5
+        assert len(result.reduce_tasks) == 2
+
+    def test_runs_from_hdfs_file(self):
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        rt.hdfs.put("input", ["a a", "b"], block_records=1)
+        result = rt.run(wordcount_job(), "input")
+        assert dict(result.outputs) == {"a": 2, "b": 1}
+
+    def test_partitioner_routing(self):
+        class EvenOdd(HashPartitioner):
+            def partition(self, key, n):
+                return 0 if key == "a" else 1
+
+        job = MapReduceJob(
+            "route", WordSplitMapper(), SumReducer(),
+            n_reducers=2, partitioner=EvenOdd(),
+        )
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        result = rt.run(job, ["a b a b"], block_records=1)
+        a_task = result.reduce_tasks[0]
+        b_task = result.reduce_tasks[1]
+        assert a_task.input_records == 2
+        assert b_task.input_records == 2
+
+    def test_bad_partitioner_rejected(self):
+        class Bad(HashPartitioner):
+            def partition(self, key, n):
+                return n  # out of range
+
+        job = MapReduceJob(
+            "bad", WordSplitMapper(), SumReducer(),
+            n_reducers=2, partitioner=Bad(),
+        )
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        with pytest.raises(ValueError, match="partitioner"):
+            rt.run(job, ["a"], block_records=1)
+
+    def test_combiner_reduces_shuffle(self):
+        class SumCombiner(Reducer):
+            def reduce(self, key, values, ctx):
+                yield key, sum(values)
+
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        plain = rt.run(wordcount_job(), ["a a a a"], block_records=1)
+        combined_job = wordcount_job()
+        combined_job.combiner = SumCombiner()
+        combined = rt.run(combined_job, ["a a a a"], block_records=1)
+        assert dict(combined.outputs) == dict(plain.outputs)
+        assert combined.shuffle_records < plain.shuffle_records
+
+    def test_cost_units_reported(self):
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        result = rt.run(wordcount_job(1), ["a a a"], block_records=1)
+        assert result.reduce_tasks[0].cost_units == 3
+
+    def test_simulated_time_positive(self):
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        result = rt.run(wordcount_job(), ["a b c"] * 5, block_records=2)
+        assert result.simulated_time(rt.cluster, "wall") > 0
+        assert result.simulated_time(rt.cluster, "units") > 0
+
+    def test_unknown_metric_rejected(self):
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        result = rt.run(wordcount_job(), ["a"], block_records=1)
+        with pytest.raises(ValueError):
+            result.simulated_phase_time("map", rt.cluster, "bogus")
+        with pytest.raises(ValueError):
+            result.simulated_phase_time("bogus", rt.cluster)
+
+    def test_empty_input(self):
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        result = rt.run(wordcount_job(), [], block_records=4)
+        assert result.outputs == []
+
+    def test_sorted_keys_within_reducer(self):
+        class KeyOrderReducer(Reducer):
+            def __init__(self):
+                self.seen = []
+
+            def reduce(self, key, values, ctx):
+                self.seen.append(key)
+                return ()
+
+        reducer = KeyOrderReducer()
+        job = MapReduceJob(
+            "sorted", WordSplitMapper(), reducer, n_reducers=1
+        )
+        rt = LocalRuntime(ClusterConfig(nodes=2, replication=1))
+        rt.run(job, ["d c b a"], block_records=1)
+        assert reducer.seen == sorted(reducer.seen)
+
+
+class TestDictPartitioner:
+    def test_table_and_fallback(self):
+        p = DictPartitioner({"x": 3})
+        assert p.partition("x", 4) == 3
+        assert 0 <= p.partition("unknown", 4) < 4
+
+    def test_table_wraps_modulo(self):
+        p = DictPartitioner({"x": 7})
+        assert p.partition("x", 4) == 3

@@ -1,0 +1,108 @@
+"""Unit tests for the mini-bucket sampling job (DMT stage 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset
+from repro.geometry import Rect
+from repro.mapreduce import ClusterConfig, LocalRuntime
+from repro.sampling import MiniBucketStats, collect_minibucket_stats
+from repro.sampling.minibuckets import _SampleMapper
+from repro.geometry import UniformGrid
+
+
+def runtime():
+    return LocalRuntime(ClusterConfig(nodes=2, replication=1,
+                                      hdfs_block_records=512))
+
+
+def records(n=2000, seed=0, side=40.0):
+    rng = np.random.default_rng(seed)
+    data = Dataset.from_points(rng.uniform(0, side, size=(n, 2)))
+    return list(data.records()), data
+
+
+class TestSampleMapper:
+    def test_scalar_and_batch_paths_agree(self):
+        grid = UniformGrid(Rect((0.0, 0.0), (40.0, 40.0)), (4, 4))
+        mapper = _SampleMapper(grid, rate=0.3, seed=5)
+        recs, _ = records(500)
+        from repro.mapreduce import TaskContext
+
+        scalar_pairs = []
+        ctx = TaskContext(0)
+        for pid, point in recs:
+            scalar_pairs.extend(mapper.map(pid, point, ctx))
+        batch_pairs = mapper.map_block(recs, TaskContext(1))
+        scalar_counts = {}
+        for bucket, one in scalar_pairs:
+            scalar_counts[bucket] = scalar_counts.get(bucket, 0) + one
+        batch_counts = dict(batch_pairs)
+        assert scalar_counts == batch_counts
+
+    def test_invalid_rate(self):
+        grid = UniformGrid(Rect((0.0,), (1.0,)), (2,))
+        with pytest.raises(ValueError):
+            _SampleMapper(grid, rate=0.0, seed=1)
+        with pytest.raises(ValueError):
+            _SampleMapper(grid, rate=1.5, seed=1)
+
+
+class TestCollectStats:
+    def test_full_rate_counts_exactly(self):
+        recs, data = records(1000)
+        stats = collect_minibucket_stats(
+            runtime(), recs, data.bounds, n_buckets=16, rate=1.0
+        )
+        assert stats.estimated_total == pytest.approx(1000)
+        assert stats.sampled_points == 1000
+
+    def test_partial_rate_unbiased(self):
+        recs, data = records(20_000, seed=1)
+        stats = collect_minibucket_stats(
+            runtime(), recs, data.bounds, n_buckets=16, rate=0.2
+        )
+        # The scaled estimate should be within a few percent of the truth.
+        assert stats.estimated_total == pytest.approx(20_000, rel=0.10)
+
+    def test_deterministic_across_block_sizes(self):
+        """The id-hash sample is independent of HDFS block layout."""
+        recs, data = records(3000, seed=2)
+        rt_a = LocalRuntime(
+            ClusterConfig(nodes=2, replication=1, hdfs_block_records=100)
+        )
+        rt_b = LocalRuntime(
+            ClusterConfig(nodes=2, replication=1, hdfs_block_records=999)
+        )
+        stats_a = collect_minibucket_stats(
+            rt_a, recs, data.bounds, n_buckets=25, rate=0.3, seed=3
+        )
+        stats_b = collect_minibucket_stats(
+            rt_b, recs, data.bounds, n_buckets=25, rate=0.3, seed=3
+        )
+        np.testing.assert_array_equal(stats_a.counts, stats_b.counts)
+
+    def test_seed_changes_sample(self):
+        recs, data = records(3000, seed=2)
+        a = collect_minibucket_stats(
+            runtime(), recs, data.bounds, n_buckets=25, rate=0.3, seed=1
+        )
+        b = collect_minibucket_stats(
+            runtime(), recs, data.bounds, n_buckets=25, rate=0.3, seed=2
+        )
+        assert not np.array_equal(a.counts, b.counts)
+
+    def test_bucket_geometry_accessors(self):
+        recs, data = records(500, seed=4)
+        stats = collect_minibucket_stats(
+            runtime(), recs, data.bounds, n_buckets=16, rate=1.0
+        )
+        for flat in stats.nonzero_buckets():
+            rect = stats.bucket_rect(int(flat))
+            assert rect.area > 0
+            assert stats.bucket_density(int(flat)) > 0
+
+    def test_counts_shape_validation(self):
+        grid = UniformGrid(Rect((0.0,), (1.0,)), (4,))
+        with pytest.raises(ValueError):
+            MiniBucketStats(grid, np.zeros(3), 0.5, 0)

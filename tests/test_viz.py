@@ -1,0 +1,61 @@
+"""Tests for the ASCII visualization helpers."""
+
+import numpy as np
+
+from repro.core import Dataset
+from repro.geometry import Rect
+from repro.partitioning import Partition, PartitionPlan
+from repro.viz import render_density, render_plan, render_plan_algorithms
+
+
+def test_render_density_shape_and_hotspot():
+    rng = np.random.default_rng(0)
+    pts = np.vstack([
+        rng.normal((5.0, 5.0), 0.3, size=(500, 2)),
+        rng.uniform(0, 10, size=(20, 2)),
+    ])
+    data = Dataset.from_points(np.clip(pts, 0, 10))
+    art = render_density(data, width=20, height=10)
+    lines = art.splitlines()
+    assert len(lines) == 10
+    assert all(len(line) == 20 for line in lines)
+    # The hotspot renders the darkest character somewhere near the middle.
+    assert "@" in art
+
+
+def test_render_density_empty_peak():
+    data = Dataset.from_points(np.array([[0.0, 0.0], [1.0, 1.0]]))
+    art = render_density(data, width=5, height=5)
+    assert len(art.splitlines()) == 5
+
+
+def halves_plan(algorithms=("nested_loop", "cell_based")):
+    domain = Rect((0.0, 0.0), (10.0, 10.0))
+    return PartitionPlan(
+        domain,
+        [
+            Partition(0, Rect((0.0, 0.0), (5.0, 10.0)),
+                      algorithm=algorithms[0]),
+            Partition(1, Rect((5.0, 0.0), (10.0, 10.0)),
+                      algorithm=algorithms[1]),
+        ],
+    )
+
+
+def test_render_plan_labels_halves():
+    art = render_plan(halves_plan(), width=10, height=4)
+    for line in art.splitlines():
+        assert line == "0000011111"
+
+
+def test_render_plan_algorithms():
+    art = render_plan_algorithms(halves_plan(), width=10, height=2)
+    for line in art.splitlines():
+        assert line == "NNNNNCCCCC"
+
+
+def test_render_plan_algorithms_unassigned():
+    art = render_plan_algorithms(
+        halves_plan(algorithms=(None, None)), width=4, height=1
+    )
+    assert art == "...."
