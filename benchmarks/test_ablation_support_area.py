@@ -9,7 +9,6 @@ measures both sides of the trade on the same grid partitioning: uniSpace
 import numpy as np
 
 from repro.core import Dataset, OutlierParams
-from repro.experiments import EXPERIMENT_CLUSTER
 from repro.experiments.runs import run_combo
 
 

@@ -28,6 +28,7 @@ from . import (
     knn,
     loci,
     mapreduce,
+    observability,
     partitioning,
     sampling,
     viz,
@@ -43,6 +44,7 @@ from .core import (
     detect_outliers,
 )
 from .mapreduce import ClusterConfig, LocalRuntime
+from .observability import RunReport, Span, Tracer
 
 __version__ = "1.0.0"
 
@@ -57,6 +59,9 @@ __all__ = [
     "DetectionRun",
     "ClusterConfig",
     "LocalRuntime",
+    "RunReport",
+    "Span",
+    "Tracer",
     "allocation",
     "clustering",
     "costmodel",
@@ -67,6 +72,7 @@ __all__ = [
     "knn",
     "loci",
     "mapreduce",
+    "observability",
     "partitioning",
     "sampling",
     "viz",

@@ -4,6 +4,8 @@ Subcommands::
 
     python -m repro generate --kind state --name MA -n 30000 -o data.csv
     python -m repro detect data.csv -r 2.0 -k 12 --strategy DMT -o out.json
+    python -m repro detect data.csv -r 2.0 -k 12 --trace-out run.jsonl
+    python -m repro trace run.jsonl
     python -m repro plan data.csv -r 2.0 -k 12 --strategy DMT -o plan.json
     python -m repro info data.csv
 
@@ -22,6 +24,7 @@ import numpy as np
 from . import data as datagen
 from .core import Dataset, detect_outliers, resolve_strategy
 from .mapreduce import ClusterConfig, LocalRuntime
+from .observability import RunReport, render_report
 from .params import OutlierParams
 from .partitioning import PlanRequest, save_plan
 
@@ -77,6 +80,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         "breakdown_seconds": result.breakdown(),
         "load_imbalance": result.load_imbalance,
     }
+    if args.trace_out:
+        run_report = result.report(
+            straggler_threshold=args.straggler_threshold
+        )
+        run_report.save(args.trace_out)
+        print(f"trace report -> {args.trace_out}")
     text = json.dumps(report, indent=2)
     if args.output:
         with open(args.output, "w") as f:
@@ -84,6 +93,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         print(f"{report['n_outliers']} outliers -> {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    report = RunReport.load(args.input)
+    print(render_report(report))
     return 0
 
 
@@ -157,7 +172,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(det)
     det.add_argument("--detector", default="nested_loop")
     det.add_argument("-o", "--output", help="write JSON report here")
+    det.add_argument("--trace-out", metavar="PATH",
+                     help="write the JSONL run report (spans, reducer "
+                          "loads, skew, stragglers) here")
+    det.add_argument("--straggler-threshold", type=float, default=2.0,
+                     help="flag tasks costing more than this multiple "
+                          "of the phase median (default 2.0)")
     det.set_defaults(func=_cmd_detect)
+
+    trace = sub.add_parser(
+        "trace", help="render a JSONL run report written by "
+                      "'detect --trace-out'"
+    )
+    trace.add_argument("input", help="run report (.jsonl)")
+    trace.set_defaults(func=_cmd_trace)
 
     plan = sub.add_parser("plan", help="build and save a partition plan")
     add_common(plan)

@@ -153,7 +153,7 @@ class _DODReducer(Reducer):
         algorithm = self.algorithm_plan.get(key) or self.default_algorithm
         detector = make_detector(algorithm)
         ndim = len(core_pts[0])
-        result = detector.detect(
+        result = detector.run(
             np.asarray(core_pts),
             np.asarray(core_ids, dtype=np.int64),
             np.asarray(support_pts) if support_pts
@@ -161,6 +161,9 @@ class _DODReducer(Reducer):
             self.params,
         )
         ctx.add_cost(result.cost_units)
+        if result.span is not None and ctx.span is not None:
+            result.span.annotate(partition=key)
+            ctx.span.add_child(result.span)
         ctx.counters.incr("dod", f"algorithm_{algorithm}")
         ctx.counters.incr("dod", "partitions_processed")
         for outlier_id in result.outlier_ids:
@@ -268,10 +271,13 @@ class _LocalDetectReducer(Reducer):
         ids = np.asarray([v[0] for v in values], dtype=np.int64)
         pts = np.asarray([v[1] for v in values], dtype=float)
         detector = make_detector(self.algorithm)
-        result = detector.detect(
+        result = detector.run(
             pts, ids, np.empty((0, pts.shape[1])), self.params
         )
         ctx.add_cost(result.cost_units)
+        if result.span is not None and ctx.span is not None:
+            result.span.annotate(partition=key)
+            ctx.span.add_child(result.span)
         local_outliers = set(result.outlier_ids)
 
         # Exact local counts for the local outliers only (one scan each).

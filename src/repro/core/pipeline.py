@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..mapreduce import ClusterConfig, LocalRuntime
+from ..observability import RunReport, Span, Tracer
 from ..params import JOB_STARTUP_SECONDS, UNIT_SECONDS
 from ..partitioning import (
     STRATEGY_REGISTRY,
@@ -56,6 +57,7 @@ class PipelineResult:
     cluster: ClusterConfig
     preprocess_wall: float = 0.0
     detect_wall: float = 0.0
+    trace: Optional[Span] = None
 
     # ------------------------------------------------------------------
     @property
@@ -142,6 +144,12 @@ class PipelineResult:
             return 1.0
         return max(loads) / (sum(loads) / len(loads))
 
+    def report(self, straggler_threshold: float = 2.0) -> RunReport:
+        """Aggregate this run into a serializable :class:`RunReport`."""
+        return RunReport.from_pipeline(
+            self, straggler_threshold=straggler_threshold
+        )
+
 
 def resolve_strategy(strategy) -> PartitioningStrategy:
     """Accept a strategy instance or a registry name (case-insensitive)."""
@@ -171,6 +179,7 @@ def detect_outliers(
     sample_rate: Optional[float] = None,
     seed: int = 1,
     plan=None,
+    tracer: Optional[Tracer] = None,
 ) -> PipelineResult:
     """Detect all distance-threshold outliers in ``dataset``.
 
@@ -187,9 +196,16 @@ def detect_outliers(
     entirely; ``strategy`` is then ignored for planning (the plan's own
     ``strategy`` label and support-area convention apply — a plan built by
     the Domain strategy still runs the two-job baseline).
+
+    Every run is traced: the pre-processing and detection jobs' span
+    trees are collected under one ``run`` span, returned as
+    ``PipelineResult.trace`` (see :mod:`repro.observability`).  Pass a
+    ``tracer`` to collect several runs in one place; a ``runtime`` that
+    already carries its own tracer keeps it.
     """
     cluster = cluster or ClusterConfig()
     runtime = runtime or LocalRuntime(cluster)
+    tracer = tracer or runtime.tracer or Tracer()
     if n_reducers is None:
         n_reducers = min(cluster.reduce_slots, 64)
     if n_partitions is None:
@@ -200,32 +216,61 @@ def detect_outliers(
         sample_rate = min(0.5, max(0.005, 2000 / max(dataset.n, 1)))
 
     records = list(dataset.records())
-    if plan is None:
-        strategy = resolve_strategy(strategy)
-        request = PlanRequest(
-            domain=dataset.bounds,
-            params=params,
-            n_partitions=n_partitions,
+    prev_tracer = runtime.tracer
+    runtime.tracer = tracer
+    try:
+        with tracer.span(
+            "pipeline", "run",
+            r=params.r, k=params.k, n_points=dataset.n,
             n_reducers=n_reducers,
-            n_buckets=n_buckets,
-            sample_rate=sample_rate,
-            seed=seed,
-        )
-        plan = strategy.timed_plan(runtime, records, request)
-        uses_support = strategy.uses_support_area
-        strategy_name = strategy.name
-    else:
-        uses_support = plan.strategy != "Domain"
-        strategy_name = plan.strategy
+        ) as run_span:
+            if plan is None:
+                strategy = resolve_strategy(strategy)
+                request = PlanRequest(
+                    domain=dataset.bounds,
+                    params=params,
+                    n_partitions=n_partitions,
+                    n_reducers=n_reducers,
+                    n_buckets=n_buckets,
+                    sample_rate=sample_rate,
+                    seed=seed,
+                )
+                plan = strategy.timed_plan(runtime, records, request)
+                uses_support = strategy.uses_support_area
+                strategy_name = strategy.name
+            else:
+                uses_support = plan.strategy != "Domain"
+                strategy_name = plan.strategy
 
-    start = time.perf_counter()
-    if uses_support:
-        framework = DODFramework(default_algorithm=detector)
-        run = framework.run(runtime, records, plan, params, n_reducers)
-    else:
-        baseline = DomainBaseline(default_algorithm=detector)
-        run = baseline.run(runtime, records, plan, params, n_reducers)
-    detect_wall = time.perf_counter() - start
+            start = time.perf_counter()
+            if uses_support:
+                framework = DODFramework(default_algorithm=detector)
+                run = framework.run(
+                    runtime, records, plan, params, n_reducers
+                )
+            else:
+                baseline = DomainBaseline(default_algorithm=detector)
+                run = baseline.run(
+                    runtime, records, plan, params, n_reducers
+                )
+            detect_wall = time.perf_counter() - start
+
+            detect_traces = {
+                id(job.trace) for job in run.jobs
+                if job.trace is not None
+            }
+            for child in run_span.children:
+                if child.kind == "job":
+                    child.annotate(
+                        stage="detect" if id(child) in detect_traces
+                        else "preprocess"
+                    )
+            run_span.annotate(
+                strategy=strategy_name,
+                n_outliers=len(run.outlier_ids),
+            )
+    finally:
+        runtime.tracer = prev_tracer
 
     return PipelineResult(
         outlier_ids=run.outlier_ids,
@@ -235,4 +280,5 @@ def detect_outliers(
         cluster=cluster,
         preprocess_wall=plan.preprocess_cost,
         detect_wall=detect_wall,
+        trace=run_span,
     )

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..observability.tracing import Span
 from ..params import CELL_WEIGHT, INDEX_WEIGHT, OutlierParams
 
 __all__ = ["DetectionResult", "Detector", "validate_partition_inputs"]
@@ -26,13 +27,19 @@ __all__ = ["DetectionResult", "Detector", "validate_partition_inputs"]
 
 @dataclass
 class DetectionResult:
-    """Outcome of running a detector on one partition."""
+    """Outcome of running a detector on one partition.
+
+    ``span`` is populated by the traced entry point :meth:`Detector.run`
+    (never by ``detect`` itself); the DOD reducers graft it into the task
+    span so per-partition detector work shows up in run traces.
+    """
 
     outlier_ids: list[int]
     distance_evals: int = 0
     index_ops: int = 0
     cell_ops: int = 0
     extras: dict = field(default_factory=dict)
+    span: Span | None = None
 
     @property
     def cost_units(self) -> float:
@@ -88,6 +95,35 @@ class Detector(abc.ABC):
         ``support_points`` are neighbor candidates only; they are never
         classified (each point is core in exactly one partition).
         """
+
+    def run(
+        self,
+        core_points: np.ndarray,
+        core_ids: np.ndarray,
+        support_points: np.ndarray,
+        params: OutlierParams,
+    ) -> DetectionResult:
+        """Traced entry point: :meth:`detect` wrapped in a span.
+
+        The span records input sizes and the cost-unit breakdown; callers
+        that trace (the DOD reducers) use this instead of ``detect``.
+        """
+        span = Span.begin(
+            f"detector:{self.name}", "detector",
+            algorithm=self.name,
+            n_core=int(np.asarray(core_points).shape[0]),
+            n_support=int(np.asarray(support_points).shape[0]),
+        )
+        result = self.detect(core_points, core_ids, support_points, params)
+        span.finish(
+            n_outliers=len(result.outlier_ids),
+            distance_evals=result.distance_evals,
+            index_ops=result.index_ops,
+            cell_ops=result.cell_ops,
+            cost_units=result.cost_units,
+        )
+        result.span = span
+        return result
 
     def detect_dataset(self, dataset, params: OutlierParams) -> DetectionResult:
         """Convenience: run on a whole dataset with no support points."""

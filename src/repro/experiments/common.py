@@ -9,12 +9,13 @@ the full study can be run small (benchmarks, CI) or large (EXPERIMENTS.md).
 from __future__ import annotations
 
 import time
-from typing import Iterable, Mapping, Sequence
+from typing import Dict, Iterable, Mapping, Sequence
 
-from ..mapreduce import ClusterConfig
+from ..mapreduce import ClusterConfig, Counters
 
 __all__ = [
     "EXPERIMENT_CLUSTER",
+    "cost_summary",
     "format_table",
     "print_report",
     "timed",
@@ -37,6 +38,28 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def cost_summary(result) -> Dict[str, float]:
+    """Deterministic scalars of one :class:`~repro.core.PipelineResult`.
+
+    Counter totals use :meth:`Counters.total` over the counters merged
+    (chained) across every job of the run — these are the exact-match
+    quantities the CI benchmark smoke step gates on.
+    """
+    merged = Counters()
+    for job in result.run.jobs:
+        merged.merge(job.counters)
+    return {
+        "map_units": result.map_units,
+        "reduce_units": result.reduce_units,
+        "total_units": result.map_units + result.reduce_units,
+        "n_outliers": len(result.outlier_ids),
+        "shuffle_records": result.run.total_shuffle_records(),
+        "support_records": merged.get("dod", "support_records"),
+        "dod_counter_total": merged.total("dod"),
+        "skew_ratio": result.load_imbalance,
+    }
 
 
 def format_table(

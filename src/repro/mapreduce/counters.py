@@ -37,11 +37,21 @@ class Counters:
         """A copy of all counters in ``group``."""
         return dict(self._values.get(group, {}))
 
-    def merge(self, other: "Counters") -> None:
-        """Fold another counter set into this one."""
+    def total(self, group: str | None = None) -> int:
+        """Sum of all counters in ``group`` (or across every group)."""
+        if group is not None:
+            return sum(self._values.get(group, {}).values())
+        return sum(
+            value for names in self._values.values()
+            for value in names.values()
+        )
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Fold another counter set into this one; returns ``self``."""
         for group, names in other._values.items():
             for name, value in names.items():
                 self.incr(group, name, value)
+        return self
 
     def as_dict(self) -> Dict[str, Dict[str, int]]:
         """Plain nested-dict snapshot (for logging / assertions)."""

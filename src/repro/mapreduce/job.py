@@ -34,11 +34,18 @@ __all__ = [
 
 
 class TaskContext:
-    """Per-task context handed to map and reduce calls."""
+    """Per-task context handed to map and reduce calls.
+
+    ``span`` is the current attempt's trace span (set by the runtime's
+    retry loop); user code may attach child spans to it — the detection
+    reducers attach each detector invocation's span this way.  It is
+    ``None`` when a task body is invoked outside the runtime.
+    """
 
     def __init__(self, task_id: int) -> None:
         self.task_id = task_id
         self.counters = Counters()
+        self.span = None  # Optional[repro.observability.Span]
         self._cost_units = 0.0
 
     def add_cost(self, units: float) -> None:

@@ -20,6 +20,7 @@ from collections import defaultdict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Sequence
 
+from ..observability.tracing import Span
 from .counters import Counters
 from .hdfs import HDFSFile, SimulatedHDFS
 from .job import MapReduceJob
@@ -29,22 +30,28 @@ __all__ = ["ParallelRuntime"]
 
 
 def _run_map_task(args):
-    """Worker entry: execute one map task attempt loop; return pickleables."""
+    """Worker entry: execute one map task attempt loop; return pickleables.
+
+    The task span rides back with the result — spans are plain dataclass
+    trees of builtins and use epoch timestamps, so they pickle cleanly
+    and stay comparable with spans built in the parent process.
+    """
     runtime, job, task_id, block = args
-    ctx, pairs, wall = runtime._run_attempts(
+    ctx, pairs, wall, span = runtime._run_attempts(
         "map", task_id,
         lambda ctx: runtime._map_attempt(job, block, ctx),
     )
-    return task_id, pairs, wall, ctx.cost_units, ctx.counters
+    return task_id, pairs, wall, ctx.cost_units, ctx.counters, span
 
 
 def _run_reduce_task(args):
     runtime, job, reducer_id, groups = args
-    ctx, (outputs, n_in), wall = runtime._run_attempts(
+    ctx, (outputs, n_in), wall, span = runtime._run_attempts(
         "reduce", reducer_id,
         lambda ctx: runtime._reduce_attempt(job, groups, ctx),
     )
-    return reducer_id, outputs, n_in, wall, ctx.cost_units, ctx.counters
+    return (reducer_id, outputs, n_in, wall, ctx.cost_units,
+            ctx.counters, span)
 
 
 class ParallelRuntime(LocalRuntime):
@@ -57,8 +64,10 @@ class ParallelRuntime(LocalRuntime):
         failure_injector=None,
         max_attempts: int = 4,
         workers: int = 4,
+        tracer=None,
     ) -> None:
-        super().__init__(cluster, hdfs, failure_injector, max_attempts)
+        super().__init__(cluster, hdfs, failure_injector, max_attempts,
+                         tracer=tracer)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -71,14 +80,21 @@ class ParallelRuntime(LocalRuntime):
     ) -> JobResult:
         blocks = self._resolve_blocks(input_data, block_records)
         result = JobResult(job.name, outputs=[], counters=Counters())
+        job_span = Span.begin(
+            f"job:{job.name}", "job",
+            job=job.name, n_reducers=job.n_reducers,
+            runtime=type(self).__name__, workers=self.workers,
+        )
         # One retry-capable LocalRuntime travels to the workers; it only
-        # carries configuration (cluster shape, injector), not state.
+        # carries configuration (cluster shape, injector), not state —
+        # the tracer stays home, task spans return with the results.
         worker_rt = LocalRuntime(
             self.cluster, failure_injector=self.failure_injector,
             max_attempts=self.max_attempts,
         )
 
         t0 = time.perf_counter()
+        map_span = job_span.child("map", "phase", n_tasks=len(blocks))
         reducer_inputs: List[Dict[Any, List[Any]]] = [
             defaultdict(list) for _ in range(job.n_reducers)
         ]
@@ -92,8 +108,8 @@ class ParallelRuntime(LocalRuntime):
                     ],
                 )
             )
-        for task_id, pairs, wall, cost_units, counters in sorted(
-            map_results
+        for task_id, pairs, wall, cost_units, counters, span in sorted(
+            map_results, key=lambda item: item[0]
         ):
             for key, value in pairs:
                 dest = job.partitioner.partition(key, job.n_reducers)
@@ -109,12 +125,22 @@ class ParallelRuntime(LocalRuntime):
             )
             result.counters.merge(counters)
             result.shuffle_records += len(pairs)
-            result.shuffle_bytes += sum(
+            task_bytes = sum(
                 _approx_size(k) + _approx_size(v) for k, v in pairs
             )
+            result.shuffle_bytes += task_bytes
+            span.annotate(
+                input_records=len(blocks[task_id]),
+                output_records=len(pairs), shuffle_bytes=task_bytes,
+            )
+            map_span.add_child(span)
+        map_span.finish()
         result.phase_times["map"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
+        reduce_span = job_span.child(
+            "reduce", "phase", n_tasks=job.n_reducers
+        )
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             reduce_results = list(
                 pool.map(
@@ -125,8 +151,8 @@ class ParallelRuntime(LocalRuntime):
                     ],
                 )
             )
-        for rid, outputs, n_in, wall, cost_units, counters in sorted(
-            reduce_results
+        for rid, outputs, n_in, wall, cost_units, counters, span in sorted(
+            reduce_results, key=lambda item: item[0]
         ):
             result.outputs.extend(outputs)
             result.reduce_tasks.append(
@@ -134,5 +160,8 @@ class ParallelRuntime(LocalRuntime):
                           len(outputs))
             )
             result.counters.merge(counters)
+            span.annotate(input_records=n_in, output_records=len(outputs))
+            reduce_span.add_child(span)
+        reduce_span.finish()
         result.phase_times["reduce"] = time.perf_counter() - t0
-        return result
+        return self._commit_trace(result, job_span)

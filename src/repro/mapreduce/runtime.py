@@ -24,6 +24,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
+from ..observability.tracing import Span, Tracer
 from .cluster import ClusterConfig
 from .counters import Counters
 from .hdfs import HDFSFile, SimulatedHDFS
@@ -56,6 +57,7 @@ class JobResult:
     phase_times: Dict[str, float] = field(default_factory=dict)
     shuffle_records: int = 0
     shuffle_bytes: int = 0
+    trace: Span | None = None
 
     # ------------------------------------------------------------------
     def simulated_time(
@@ -123,6 +125,7 @@ class LocalRuntime:
         hdfs: SimulatedHDFS | None = None,
         failure_injector=None,
         max_attempts: int = 4,
+        tracer: Tracer | None = None,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         self.hdfs = hdfs or SimulatedHDFS(self.cluster)
@@ -130,6 +133,7 @@ class LocalRuntime:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.max_attempts = max_attempts
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def run(
@@ -146,16 +150,22 @@ class LocalRuntime:
         """
         blocks = self._resolve_blocks(input_data, block_records)
         result = JobResult(job.name, outputs=[], counters=Counters())
+        job_span = Span.begin(
+            f"job:{job.name}", "job",
+            job=job.name, n_reducers=job.n_reducers,
+            runtime=type(self).__name__,
+        )
 
         # ----------------------------- map phase -----------------------
         t0 = time.perf_counter()
+        map_span = job_span.child("map", "phase", n_tasks=len(blocks))
         # One spill per (map task, reducer): the shuffle routes each pair as
         # it is emitted, like Hadoop's map-side partitioned spill files.
         reducer_inputs: List[Dict[Any, List[Any]]] = [
             defaultdict(list) for _ in range(job.n_reducers)
         ]
         for task_id, block in enumerate(blocks):
-            ctx, pairs, wall = self._run_attempts(
+            ctx, pairs, wall, task_span = self._run_attempts(
                 "map", task_id,
                 lambda ctx: self._map_attempt(job, block, ctx),
             )
@@ -173,16 +183,26 @@ class LocalRuntime:
             )
             result.counters.merge(ctx.counters)
             result.shuffle_records += len(pairs)
-            result.shuffle_bytes += sum(
+            task_bytes = sum(
                 _approx_size(k) + _approx_size(v) for k, v in pairs
             )
+            result.shuffle_bytes += task_bytes
+            task_span.annotate(
+                input_records=len(block), output_records=len(pairs),
+                shuffle_bytes=task_bytes,
+            )
+            map_span.add_child(task_span)
+        map_span.finish()
         result.phase_times["map"] = time.perf_counter() - t0
 
         # --------------------------- reduce phase ----------------------
         t0 = time.perf_counter()
+        reduce_span = job_span.child(
+            "reduce", "phase", n_tasks=job.n_reducers
+        )
         for reducer_id in range(job.n_reducers):
             groups = reducer_inputs[reducer_id]
-            ctx, (outputs, n_in), wall = self._run_attempts(
+            ctx, (outputs, n_in), wall, task_span = self._run_attempts(
                 "reduce", reducer_id,
                 lambda ctx: self._reduce_attempt(job, groups, ctx),
             )
@@ -192,20 +212,48 @@ class LocalRuntime:
                           n_in, len(outputs))
             )
             result.counters.merge(ctx.counters)
+            task_span.annotate(
+                input_records=n_in, output_records=len(outputs)
+            )
+            reduce_span.add_child(task_span)
+        reduce_span.finish()
         result.phase_times["reduce"] = time.perf_counter() - t0
-        return result
+        return self._commit_trace(result, job_span)
 
     # ------------------------------------------------------------------
+    def _commit_trace(self, result: JobResult, job_span: Span) -> JobResult:
+        """Finalize the job span and hand it to the tracer, if any."""
+        job_span.finish(
+            shuffle_records=result.shuffle_records,
+            shuffle_bytes=result.shuffle_bytes,
+            map_tasks=len(result.map_tasks),
+            reduce_tasks=len(result.reduce_tasks),
+        )
+        result.trace = job_span
+        if self.tracer is not None:
+            self.tracer.record(job_span)
+        return result
+
     def _run_attempts(self, phase: str, task_id: int, body):
         """Execute a task with retry-on-failure; commit only on success.
 
         Failed attempts are recorded on the *successful* attempt's context
         counters, so they survive the trip back from worker processes.
+        Returns ``(ctx, out, wall, task_span)``; the task span carries one
+        ``attempt`` child per attempt (failed ones annotated with the
+        error) and, via ``ctx.span``, any spans user code attached.
         """
+        task_span = Span.begin(
+            f"{phase}[{task_id}]", "task", phase=phase, task_id=task_id
+        )
         wall = 0.0
         failures = 0
         for attempt in range(self.max_attempts):
             ctx = TaskContext(task_id)
+            attempt_span = task_span.child(
+                f"attempt {attempt}", "attempt", attempt=attempt
+            )
+            ctx.span = attempt_span
             task_start = time.perf_counter()
             try:
                 if self.failure_injector is not None and (
@@ -219,18 +267,31 @@ class LocalRuntime:
                         f"{phase} task {task_id} attempt {attempt}"
                     )
                 out = body(ctx)
-            except Exception:
+            except Exception as exc:
                 wall += time.perf_counter() - task_start
                 failures += 1
+                attempt_span.finish(
+                    status="failed", error=type(exc).__name__
+                )
                 if attempt == self.max_attempts - 1:
+                    task_span.finish(
+                        status="failed", failures=failures,
+                        wall_seconds=wall,
+                    )
                     raise
                 continue
             wall += time.perf_counter() - task_start
+            attempt_span.finish(status="ok")
             if failures:
                 ctx.counters.incr(
                     "runtime", f"{phase}_task_failures", failures
                 )
-            return ctx, out, wall
+            task_span.finish(
+                status="ok", failures=failures, wall_seconds=wall,
+                cost_units=ctx.cost_units,
+                counters=ctx.counters.as_dict(),
+            )
+            return ctx, out, wall, task_span
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _map_attempt(self, job: MapReduceJob, block, ctx: TaskContext):

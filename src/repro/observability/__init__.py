@@ -1,0 +1,34 @@
+"""Structured observability for the DOD runtime.
+
+Three pieces, layered:
+
+* :mod:`~repro.observability.tracing` — hierarchical :class:`Span` trees
+  (job -> phase -> task -> attempt, plus detector spans) and the
+  :class:`Tracer` that collects them as the runtime executes;
+* :mod:`~repro.observability.report` — the :class:`RunReport` aggregator
+  (per-reducer load histogram, skew ratio, straggler detection,
+  cost-model predicted-vs-actual) with JSONL round-trip;
+* :mod:`~repro.observability.render` — the plain-text view behind
+  ``repro trace``.
+
+See ``docs/observability.md`` for the span schema and the CI contract.
+"""
+
+from .render import render_report
+from .report import (
+    RunReport,
+    StragglerInfo,
+    detect_stragglers,
+    skew_ratio,
+)
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "RunReport",
+    "StragglerInfo",
+    "detect_stragglers",
+    "skew_ratio",
+    "render_report",
+]

@@ -1,0 +1,166 @@
+"""Hierarchical spans for the simulated MapReduce runtime.
+
+A :class:`Span` records one timed unit of work — a job, a phase, a task,
+a task attempt, or a detector invocation — with free-form attributes
+(counter deltas, cost units, shuffle bytes, retry annotations) and child
+spans.  The runtime builds the hierarchy ``job -> phase -> task ->
+attempt`` for every job it runs; the pipeline wraps jobs in a ``run``
+span.
+
+Spans are plain data (dataclass of builtins), so they
+
+* **pickle** across the :class:`~repro.mapreduce.parallel.ParallelRuntime`
+  process pool: workers build their task spans locally and the collector
+  grafts them into the phase span on the way back, and
+* **serialize** to/from JSON dicts for the ``repro trace`` tooling.
+
+Timestamps are epoch seconds (``time.time``), not ``perf_counter``:
+``perf_counter`` origins differ between processes, which would make
+cross-process span merging meaningless.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed, attributed, nestable unit of work."""
+
+    name: str
+    kind: str  # "run" | "job" | "phase" | "task" | "attempt" | "detector"
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def begin(cls, name: str, kind: str, **attrs: Any) -> "Span":
+        """Start a span now."""
+        return cls(name=name, kind=kind, start=time.time(),
+                   attrs=dict(attrs))
+
+    def finish(self, **attrs: Any) -> "Span":
+        """Close the span (idempotent) and merge final attributes."""
+        if self.end is None:
+            self.end = time.time()
+        self.attrs.update(attrs)
+        return self
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Merge attributes without touching the clock."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- hierarchy ------------------------------------------------------
+    def child(self, name: str, kind: str, **attrs: Any) -> "Span":
+        """Start and attach a child span."""
+        span = Span.begin(name, kind, **attrs)
+        self.children.append(span)
+        return span
+
+    def add_child(self, span: "Span") -> "Span":
+        """Attach an externally built span (e.g. from a worker process)."""
+        self.children.append(span)
+        return span
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: Optional[str] = None,
+             name: Optional[str] = None) -> List["Span"]:
+        """All descendants (self included) matching ``kind`` / ``name``."""
+        return [
+            s for s in self.walk()
+            if (kind is None or s.kind == kind)
+            and (name is None or s.name == name)
+        ]
+
+    # -- measurement ----------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            start=data["start"],
+            end=data.get("end"),
+            attrs=dict(data.get("attrs", {})),
+            children=[cls.from_dict(c)
+                      for c in data.get("children", [])],
+        )
+
+
+class Tracer:
+    """Collects span trees as the runtime produces them.
+
+    The tracer keeps a stack of open spans; :meth:`record` attaches a
+    finished span (typically a job span from ``LocalRuntime.run``) to the
+    innermost open span, or to :attr:`roots` when nothing is open.  The
+    pipeline opens a ``run`` span around the whole detection so that the
+    pre-processing job, the detection job(s), and any baseline
+    confirmation job all land under one root.
+    """
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, kind: str, **attrs: Any):
+        """Open a span for the duration of a ``with`` block."""
+        span = Span.begin(name, kind, **attrs)
+        self.record(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.finish()
+
+    def record(self, span: Span) -> Span:
+        """Attach ``span`` under the current open span (or as a root)."""
+        if self._stack:
+            self._stack[-1].add_child(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def job_spans(self) -> List[Span]:
+        """Every job span recorded so far, in execution order."""
+        return [
+            s for root in self.roots for s in root.walk()
+            if s.kind == "job"
+        ]

@@ -1,0 +1,347 @@
+"""Tests for the observability layer: spans, tracer, run reports."""
+
+import pytest
+
+from repro.core import Dataset, detect_outliers
+from repro.mapreduce import (
+    ClusterConfig,
+    Counters,
+    LocalRuntime,
+    MapReduceJob,
+    Mapper,
+    ParallelRuntime,
+    Reducer,
+    ScriptedFailures,
+)
+from repro.observability import (
+    RunReport,
+    Span,
+    StragglerInfo,
+    Tracer,
+    detect_stragglers,
+    render_report,
+    skew_ratio,
+)
+from repro.params import OutlierParams
+
+import numpy as np
+
+
+class TokenMapper(Mapper):
+    def map(self, key, value, ctx):
+        for token in value.split():
+            ctx.counters.incr("wc", "tokens")
+            yield token, 1
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.add_cost(len(values))
+        yield key, sum(values)
+
+
+def wc_job(n_reducers=2):
+    return MapReduceJob(
+        name="wc", mapper=TokenMapper(), reducer=SumReducer(),
+        n_reducers=n_reducers,
+    )
+
+
+LINES = ["a b c", "b c d", "c d e", "d e f"]
+CLUSTER = ClusterConfig(nodes=2, map_slots_per_node=2,
+                        reduce_slots_per_node=2, hdfs_block_records=2)
+
+
+def clustered_dataset(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = np.vstack([
+        rng.normal((10, 10), 1.0, size=(n - 20, 2)),
+        rng.uniform(0, 60, size=(20, 2)),
+    ])
+    return Dataset.from_points(pts)
+
+
+# ----------------------------------------------------------------------
+class TestSpan:
+    def test_begin_finish_duration(self):
+        span = Span.begin("work", "task", task_id=3)
+        assert span.end is None and span.duration == 0.0
+        span.finish(status="ok")
+        assert span.end >= span.start
+        assert span.attrs == {"task_id": 3, "status": "ok"}
+
+    def test_finish_is_idempotent(self):
+        span = Span.begin("w", "task").finish()
+        end = span.end
+        span.finish(extra=1)
+        assert span.end == end and span.attrs["extra"] == 1
+
+    def test_child_nesting_and_walk(self):
+        root = Span.begin("job", "job")
+        phase = root.child("map", "phase")
+        phase.child("map[0]", "task")
+        phase.child("map[1]", "task")
+        kinds = [s.kind for s in root.walk()]
+        assert kinds == ["job", "phase", "task", "task"]
+        assert len(root.find(kind="task")) == 2
+        assert root.find(name="map") == [phase]
+
+    def test_dict_round_trip(self):
+        root = Span.begin("job", "job", n_reducers=2)
+        root.child("map", "phase").child("map[0]", "task",
+                                         counters={"wc": {"tokens": 3}})
+        root.finish()
+        restored = Span.from_dict(root.to_dict())
+        assert restored.to_dict() == root.to_dict()
+        assert restored.find(kind="task")[0].attrs["counters"] == {
+            "wc": {"tokens": 3}
+        }
+
+
+class TestCountersHelpers:
+    def test_total_of_group_and_overall(self):
+        c = Counters()
+        c.incr("g", "a", 2)
+        c.incr("g", "b", 3)
+        c.incr("h", "x", 10)
+        assert c.total("g") == 5
+        assert c.total("missing") == 0
+        assert c.total() == 15
+
+    def test_merge_chains(self):
+        a, b, c = Counters(), Counters(), Counters()
+        b.incr("g", "x", 1)
+        c.incr("g", "x", 2)
+        assert a.merge(b).merge(c) is a
+        assert a.total("g") == 3
+
+
+# ----------------------------------------------------------------------
+class TestRuntimeTracing:
+    def test_local_job_trace_shape(self):
+        result = LocalRuntime(CLUSTER).run(wc_job(), LINES)
+        trace = result.trace
+        assert trace is not None and trace.kind == "job"
+        phases = [c for c in trace.children if c.kind == "phase"]
+        assert [p.name for p in phases] == ["map", "reduce"]
+        map_tasks = phases[0].find(kind="task")
+        assert len(map_tasks) == len(result.map_tasks)
+        assert len(phases[1].find(kind="task")) == 2
+        # every task ran exactly one successful attempt
+        for task in trace.find(kind="task"):
+            attempts = [c for c in task.children if c.kind == "attempt"]
+            assert [a.attrs["status"] for a in attempts] == ["ok"]
+            assert task.attrs["status"] == "ok"
+        assert trace.attrs["shuffle_records"] == result.shuffle_records
+
+    def test_task_spans_carry_counters_and_cost(self):
+        result = LocalRuntime(CLUSTER).run(wc_job(), LINES)
+        map_spans = [
+            s for s in result.trace.find(kind="task")
+            if s.attrs["phase"] == "map"
+        ]
+        tokens = sum(
+            s.attrs["counters"].get("wc", {}).get("tokens", 0)
+            for s in map_spans
+        )
+        assert tokens == result.counters.get("wc", "tokens")
+        reduce_spans = [
+            s for s in result.trace.find(kind="task")
+            if s.attrs["phase"] == "reduce"
+        ]
+        assert sum(s.attrs["cost_units"] for s in reduce_spans) == sum(
+            t.cost_units for t in result.reduce_tasks
+        )
+
+    def test_retry_attempts_annotated(self):
+        injector = ScriptedFailures({("map", 0): 2})
+        result = LocalRuntime(
+            CLUSTER, failure_injector=injector
+        ).run(wc_job(), LINES)
+        task = [
+            s for s in result.trace.find(kind="task")
+            if s.attrs["phase"] == "map" and s.attrs["task_id"] == 0
+        ][0]
+        statuses = [c.attrs["status"] for c in task.children]
+        assert statuses == ["failed", "failed", "ok"]
+        assert task.attrs["failures"] == 2
+        assert task.children[0].attrs["error"] == "SimulatedTaskFailure"
+
+    def test_tracer_collects_job_spans(self):
+        tracer = Tracer()
+        rt = LocalRuntime(CLUSTER, tracer=tracer)
+        rt.run(wc_job(), LINES)
+        rt.run(wc_job(), LINES)
+        assert len(tracer.job_spans()) == 2
+        assert all(s in tracer.roots for s in tracer.job_spans())
+
+    def test_tracer_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer", "run") as outer:
+            LocalRuntime(CLUSTER, tracer=tracer).run(wc_job(), LINES)
+        assert [c.kind for c in outer.children] == ["job"]
+        assert tracer.roots == [outer]
+
+
+class TestParallelTracing:
+    def test_spans_cross_process_boundary(self):
+        serial = LocalRuntime(CLUSTER).run(wc_job(), LINES)
+        parallel = ParallelRuntime(CLUSTER, workers=2).run(
+            wc_job(), LINES
+        )
+        for result in (serial, parallel):
+            assert result.trace.kind == "job"
+        s_tasks = serial.trace.find(kind="task")
+        p_tasks = parallel.trace.find(kind="task")
+        assert len(s_tasks) == len(p_tasks)
+        assert (
+            [(t.attrs["phase"], t.attrs["task_id"]) for t in s_tasks]
+            == [(t.attrs["phase"], t.attrs["task_id"]) for t in p_tasks]
+        )
+        # merged counters and cost attrs agree with the serial run
+        assert (
+            [t.attrs["counters"] for t in p_tasks]
+            == [t.attrs["counters"] for t in s_tasks]
+        )
+        assert parallel.trace.attrs["runtime"] == "ParallelRuntime"
+
+    def test_worker_failures_recorded_in_spans(self):
+        injector = ScriptedFailures({("reduce", 1): 1})
+        result = ParallelRuntime(
+            CLUSTER, workers=2, failure_injector=injector
+        ).run(wc_job(), LINES)
+        task = [
+            s for s in result.trace.find(kind="task")
+            if s.attrs["phase"] == "reduce" and s.attrs["task_id"] == 1
+        ][0]
+        assert [c.attrs["status"] for c in task.children] == [
+            "failed", "ok"
+        ]
+        assert result.counters.get("runtime", "reduce_task_failures") == 1
+
+
+# ----------------------------------------------------------------------
+class TestStragglers:
+    def test_median_multiple_rule(self):
+        tasks = [("j", "reduce", i, c)
+                 for i, c in enumerate([10, 10, 10, 10, 25])]
+        found = detect_stragglers(tasks, threshold=2.0)
+        assert [(s.task_id, s.cost) for s in found] == [(4, 25)]
+        assert found[0].ratio == 2.5
+
+    def test_small_groups_and_zero_median_skipped(self):
+        assert detect_stragglers([("j", "map", 0, 100),
+                                  ("j", "map", 1, 1)]) == []
+        zeros = [("j", "map", i, 0.0) for i in range(5)]
+        assert detect_stragglers(zeros) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            detect_stragglers([], threshold=1.0)
+
+    def test_skew_ratio(self):
+        assert skew_ratio([]) == 1.0
+        assert skew_ratio([2.0, 2.0]) == 1.0
+        assert skew_ratio([1.0, 3.0]) == 1.5
+
+    def test_straggler_flagged_on_synthetic_skewed_run(self):
+        # One dense blob + sparse noise, uniSpace grid partitioning:
+        # the partitions covering the blob dominate reduce cost.
+        rng = np.random.default_rng(5)
+        pts = np.vstack([
+            rng.normal((5, 5), 0.4, size=(900, 2)),
+            rng.uniform(0, 80, size=(100, 2)),
+        ])
+        result = detect_outliers(
+            Dataset.from_points(pts), OutlierParams(r=2.0, k=10),
+            strategy="uniSpace", n_partitions=16, n_reducers=8,
+            cluster=CLUSTER, seed=1,
+        )
+        report = result.report(straggler_threshold=2.0)
+        assert report.skew > 2.0
+        assert any(s.phase == "reduce" for s in report.stragglers)
+
+
+# ----------------------------------------------------------------------
+class TestRunReport:
+    @pytest.fixture(scope="class")
+    def pipeline_result(self):
+        return detect_outliers(
+            clustered_dataset(), OutlierParams(r=2.0, k=8),
+            strategy="DMT", n_partitions=8, n_reducers=4,
+            cluster=CLUSTER, seed=1,
+        )
+
+    def test_report_contents(self, pipeline_result):
+        report = RunReport.from_pipeline(pipeline_result)
+        assert report.meta["strategy"] == "DMT"
+        assert report.meta["n_outliers"] == len(
+            pipeline_result.outlier_ids
+        )
+        assert len(report.reducer_loads) == 4
+        assert report.cost_units["reduce"] == pytest.approx(
+            sum(report.reducer_loads)
+        )
+        assert report.skew == pytest.approx(
+            pipeline_result.load_imbalance
+        )
+        assert report.counter_totals["dod"] == sum(
+            report.counters["dod"].values()
+        )
+        cm = report.cost_model
+        assert cm["predicted_units"] > 0
+        assert cm["actual_reduce_units"] == pytest.approx(
+            report.cost_units["reduce"]
+        )
+        assert len(cm["predicted_reducer_loads"]) == 4
+
+    def test_trace_includes_preprocess_and_detect(self, pipeline_result):
+        report = RunReport.from_pipeline(pipeline_result)
+        assert len(report.trace) == 1
+        jobs = [
+            s for s in report.trace[0].walk() if s.kind == "job"
+        ]
+        stages = {s.attrs.get("stage") for s in jobs}
+        assert stages == {"preprocess", "detect"}
+        assert any(
+            s.kind == "detector" for s in report.trace[0].walk()
+        )
+
+    def test_jsonl_round_trip(self, pipeline_result, tmp_path):
+        report = RunReport.from_pipeline(pipeline_result)
+        path = str(tmp_path / "run.jsonl")
+        report.save(path)
+        restored = RunReport.load(path)
+        assert restored.to_dict() == report.to_dict()
+        assert restored.cost_totals() == report.cost_totals()
+        assert [r.to_dict() for r in restored.trace] == [
+            r.to_dict() for r in report.trace
+        ]
+        assert len(restored.task_spans()) == len(report.task_spans())
+
+    def test_load_rejects_non_report(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "span": {"name": "x", '
+                        '"kind": "job", "start": 0}}\n')
+        with pytest.raises(ValueError):
+            RunReport.load(str(path))
+
+    def test_render_report_sections(self, pipeline_result):
+        text = render_report(RunReport.from_pipeline(pipeline_result))
+        for needle in ("repro run report", "phase timeline",
+                       "reducer load", "skew ratio", "cost model",
+                       "shuffle:"):
+            assert needle in text
+
+    def test_render_from_dict_without_trace(self):
+        report = RunReport.from_dict({
+            "meta": {"strategy": "DMT", "r": 2.0, "k": 8},
+            "cost_units": {"map": 1.0, "reduce": 2.0, "total": 3.0},
+            "reducer_loads": [1.0, 2.0],
+            "skew_ratio": 1.33,
+            "stragglers": [{"job": "j", "phase": "reduce",
+                            "task_id": 1, "cost": 2.0, "median": 0.9}],
+        })
+        text = render_report(report)
+        assert "stragglers (1 flagged)" in text
+        assert isinstance(report.stragglers[0], StragglerInfo)

@@ -1,0 +1,92 @@
+"""Tests for `repro detect --trace-out` and the `repro trace` command."""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments import ci_smoke
+from repro.observability import RunReport
+
+
+@pytest.fixture
+def csv_points(tmp_path):
+    rng = np.random.default_rng(2)
+    pts = np.vstack([
+        rng.normal((10, 10), 1.0, size=(300, 2)),
+        rng.uniform(0, 60, size=(20, 2)),
+    ])
+    path = tmp_path / "points.csv"
+    np.savetxt(path, pts, delimiter=",")
+    return str(path)
+
+
+class TestDetectTraceOut:
+    def test_writes_loadable_report(self, csv_points, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        code = main([
+            "detect", csv_points, "-r", "2.0", "-k", "5",
+            "--strategy", "DMT", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        assert "trace report ->" in capsys.readouterr().out
+        report = RunReport.load(str(trace))
+        assert report.meta["strategy"] == "DMT"
+        assert report.cost_units["total"] > 0
+        assert report.reducer_loads
+        assert report.task_spans()
+        # per-task spans include both phases of the detection job
+        phases = {s.attrs["phase"] for s in report.task_spans()}
+        assert phases == {"map", "reduce"}
+
+    def test_detect_without_trace_out_unchanged(self, csv_points,
+                                                capsys):
+        assert main(["detect", csv_points, "-r", "2.0", "-k", "5",
+                     "--strategy", "uniSpace"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_outliers"] == len(report["outliers"])
+
+
+class TestTraceCommand:
+    def test_renders_report(self, csv_points, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(["detect", csv_points, "-r", "2.0", "-k", "5",
+              "--strategy", "DMT", "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        for needle in ("repro run report", "phase timeline",
+                       "reducer load (cost units)", "skew ratio",
+                       "trace:"):
+            assert needle in out
+
+
+class TestCISmoke:
+    def test_check_matches_checked_in_baseline(self, capsys):
+        # The committed baseline must exactly match a fresh run — this is
+        # the same gate CI's benchmark smoke step applies.
+        baseline = (pathlib.Path(__file__).resolve().parents[1]
+                    / "benchmarks" / "baselines" / "ci_smoke.json")
+        code = ci_smoke.main(["--check", str(baseline)])
+        assert code == 0
+        assert "baseline match" in capsys.readouterr().out
+
+    def test_check_fails_on_drift(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"total_units": -1}))
+        code = ci_smoke.main(["--check", str(baseline)])
+        assert code == 1
+        assert "BASELINE MISMATCH" in capsys.readouterr().out
+
+    def test_update_then_check_round_trips(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        trace = tmp_path / "run.jsonl"
+        assert ci_smoke.main(["--update", str(baseline)]) == 0
+        assert ci_smoke.main(
+            ["--check", str(baseline), "--trace-out", str(trace)]
+        ) == 0
+        report = RunReport.load(str(trace))
+        saved = json.loads(baseline.read_text())
+        assert report.cost_totals()["total_units"] == saved["total_units"]
