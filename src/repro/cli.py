@@ -23,7 +23,12 @@ import numpy as np
 
 from . import data as datagen
 from .core import Dataset, detect_outliers, resolve_strategy
-from .mapreduce import ClusterConfig, LocalRuntime
+from .mapreduce import (
+    ClusterConfig,
+    LocalRuntime,
+    ParallelRuntime,
+    SchedulerConfig,
+)
 from .observability import RunReport, render_report
 from .params import OutlierParams
 from .partitioning import PlanRequest, save_plan
@@ -64,11 +69,30 @@ def _detect(args: argparse.Namespace):
     return dataset, params, cluster
 
 
+def _build_runtime(args: argparse.Namespace, cluster: ClusterConfig):
+    """Runtime + scheduler policy from the detect subcommand's flags."""
+    scheduler = SchedulerConfig(
+        max_attempts=args.max_attempts,
+        timeout=args.timeout,
+        backoff_base=args.backoff,
+        seed=args.seed,
+        speculate=args.speculate,
+        speculation_threshold=args.straggler_threshold,
+        degradation=args.degrade,
+    )
+    if args.workers > 0:
+        return ParallelRuntime(
+            cluster, workers=args.workers, scheduler=scheduler
+        )
+    return LocalRuntime(cluster, scheduler=scheduler)
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     dataset, params, cluster = _detect(args)
     result = detect_outliers(
         dataset, params, strategy=args.strategy,
         detector=args.detector, cluster=cluster, seed=args.seed,
+        runtime=_build_runtime(args, cluster),
     )
     report = {
         "n_points": dataset.n,
@@ -177,7 +201,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "loads, skew, stragglers) here")
     det.add_argument("--straggler-threshold", type=float, default=2.0,
                      help="flag tasks costing more than this multiple "
-                          "of the phase median (default 2.0)")
+                          "of the phase median (default 2.0); also the "
+                          "speculation trigger with --speculate")
+    det.add_argument("--workers", type=int, default=0,
+                     help="run tasks in this many worker processes "
+                          "(0 = serial in-process execution)")
+    det.add_argument("--max-attempts", type=int, default=4,
+                     help="attempts per task before the degradation "
+                          "policy applies (default 4)")
+    det.add_argument("--timeout", type=float, default=None,
+                     help="per-attempt wall-clock timeout in seconds "
+                          "(default: none)")
+    det.add_argument("--backoff", type=float, default=0.0,
+                     help="base delay before the first retry, doubling "
+                          "per retry with seeded jitter (default 0 = "
+                          "retry immediately)")
+    det.add_argument("--speculate", action="store_true",
+                     help="launch duplicate attempts for straggler "
+                          "tasks (needs --workers > 0)")
+    det.add_argument("--degrade", choices=["fail", "skip"],
+                     default="fail",
+                     help="when a task exhausts its attempts: fail the "
+                          "run, or skip its partition with a warning")
     det.set_defaults(func=_cmd_detect)
 
     trace = sub.add_parser(

@@ -3,10 +3,14 @@
 from .cluster import LOCAL_TEST_CLUSTER, ClusterConfig, makespan
 from .counters import Counters
 from .failures import (
+    SPECULATIVE_ATTEMPT_BASE,
+    CompositeInjector,
     FailureInjector,
+    HangingTasks,
     RandomFailures,
     ScriptedFailures,
     SimulatedTaskFailure,
+    SlowTasks,
 )
 from .hdfs import Block, HDFSFile, SimulatedHDFS
 from .job import (
@@ -20,6 +24,7 @@ from .job import (
 )
 from .parallel import ParallelRuntime
 from .runtime import JobResult, LocalRuntime, TaskStats
+from .scheduler import SchedulerConfig, TaskScheduler, TaskTimeout
 
 __all__ = [
     "ClusterConfig",
@@ -30,6 +35,13 @@ __all__ = [
     "RandomFailures",
     "ScriptedFailures",
     "SimulatedTaskFailure",
+    "SlowTasks",
+    "HangingTasks",
+    "CompositeInjector",
+    "SPECULATIVE_ATTEMPT_BASE",
+    "SchedulerConfig",
+    "TaskScheduler",
+    "TaskTimeout",
     "Block",
     "HDFSFile",
     "SimulatedHDFS",

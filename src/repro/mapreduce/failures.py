@@ -5,17 +5,48 @@ fault tolerant execution": tasks that die are simply re-executed from
 their input split.  The runtime reproduces that contract — task outputs
 commit only on success, failed attempts are retried up to a bound — and
 this module provides the injectors that make the behavior testable.
+
+Two fault channels exist:
+
+* **crashes** (:meth:`FailureInjector.should_fail`) — the attempt raises
+  :class:`SimulatedTaskFailure` before running any user code;
+* **latency** (:meth:`FailureInjector.delay`) — the attempt sleeps for
+  the returned number of seconds before running user code.  This is how
+  stragglers and hangs are simulated; combined with the scheduler's
+  per-attempt timeout (:mod:`repro.mapreduce.scheduler`) it makes
+  straggler mitigation as testable as crash recovery.
+
+Latency injectors treat a *speculative* duplicate attempt (attempt index
+``>= SPECULATIVE_ATTEMPT_BASE``) as running on a healthy node: by
+default it is neither delayed nor hung, which models the real-world
+premise of speculative execution — the straggler is the machine, not the
+data.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 import numpy as np
 
-__all__ = ["SimulatedTaskFailure", "FailureInjector", "RandomFailures",
-           "ScriptedFailures"]
+__all__ = [
+    "SimulatedTaskFailure",
+    "FailureInjector",
+    "RandomFailures",
+    "ScriptedFailures",
+    "SlowTasks",
+    "HangingTasks",
+    "CompositeInjector",
+    "SPECULATIVE_ATTEMPT_BASE",
+]
+
+#: Attempt indices at or above this mark belong to a *speculative*
+#: duplicate of a task (see ``repro.mapreduce.scheduler``).  Regular
+#: retry attempts are numbered 0, 1, 2, ...; a speculative copy numbers
+#: its attempts 1000, 1001, ... so injectors can tell the two apart.
+SPECULATIVE_ATTEMPT_BASE = 1000
 
 
 class SimulatedTaskFailure(RuntimeError):
@@ -23,10 +54,20 @@ class SimulatedTaskFailure(RuntimeError):
 
 
 class FailureInjector:
-    """Base injector: never fails.  Subclass and override should_fail."""
+    """Base injector: never fails, never delays.  Subclass and override."""
 
     def should_fail(self, phase: str, task_id: int, attempt: int) -> bool:
         return False
+
+    def delay(self, phase: str, task_id: int, attempt: int) -> float:
+        """Seconds of injected latency before the attempt body runs.
+
+        ``math.inf`` means the attempt hangs until the scheduler's
+        per-attempt timeout abandons it (running a hanging injector
+        without a timeout is a configuration error the scheduler
+        rejects).
+        """
+        return 0.0
 
 
 @dataclass
@@ -62,3 +103,65 @@ class ScriptedFailures(FailureInjector):
 
     def should_fail(self, phase: str, task_id: int, attempt: int) -> bool:
         return attempt < self.plan.get((phase, task_id), 0)
+
+
+@dataclass
+class SlowTasks(FailureInjector):
+    """Delay specific tasks — the simulated straggler.
+
+    ``plan`` maps ``(phase, task_id)`` to seconds of latency injected
+    before every attempt of that task.  ``slow_speculative=True`` also
+    delays speculative duplicate attempts (modeling a straggler caused
+    by the data rather than the machine, which speculation cannot fix).
+    """
+
+    plan: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    slow_speculative: bool = False
+
+    def delay(self, phase: str, task_id: int, attempt: int) -> float:
+        if not self.slow_speculative and attempt >= SPECULATIVE_ATTEMPT_BASE:
+            return 0.0
+        return float(self.plan.get((phase, task_id), 0.0))
+
+
+@dataclass
+class HangingTasks(FailureInjector):
+    """Specific attempts never finish (until a scheduler timeout fires).
+
+    ``plan`` maps ``(phase, task_id)`` to how many attempts should hang
+    before one runs normally — the latency analogue of
+    :class:`ScriptedFailures`.  Speculative duplicates never hang (they
+    run on a "healthy node").
+    """
+
+    plan: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+    def delay(self, phase: str, task_id: int, attempt: int) -> float:
+        if attempt >= SPECULATIVE_ATTEMPT_BASE:
+            return 0.0
+        if attempt < self.plan.get((phase, task_id), 0):
+            return math.inf
+        return 0.0
+
+
+class CompositeInjector(FailureInjector):
+    """Combine injectors: crash if *any* says fail; delays add up.
+
+    The vehicle for mixed crash+latency fault plans, e.g.::
+
+        CompositeInjector(RandomFailures(0.3), SlowTasks({("reduce", 2): 0.5}))
+    """
+
+    def __init__(self, *injectors: FailureInjector) -> None:
+        self.injectors = tuple(injectors)
+
+    def should_fail(self, phase: str, task_id: int, attempt: int) -> bool:
+        return any(
+            inj.should_fail(phase, task_id, attempt)
+            for inj in self.injectors
+        )
+
+    def delay(self, phase: str, task_id: int, attempt: int) -> float:
+        return sum(
+            inj.delay(phase, task_id, attempt) for inj in self.injectors
+        )

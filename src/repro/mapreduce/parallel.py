@@ -8,25 +8,47 @@ it when the goal is answers rather than measurements.
 
 Implementation notes: tasks are dispatched per map block / per reducer;
 the job object (mapper, reducer, partitioner and their captured plans)
-must be picklable, which every built-in component is.  Failure injection
-and retries run inside each worker, preserving commit-on-success
-semantics.
+must be picklable, which every built-in component is.  Failure injection,
+retries, timeouts, and backoff run inside each worker, preserving
+commit-on-success semantics.
+
+**Speculative execution** happens here, in the dispatching process: when
+``SchedulerConfig.speculate`` is on, the phase monitor compares each
+in-flight task's elapsed time against the median of completed tasks (the
+same median-multiple rule :func:`repro.observability.report
+.detect_stragglers` uses) and launches one duplicate attempt per flagged
+straggler.  The first result to commit wins; the loser is cancelled —
+logically, as on a real cluster: an attempt already running cannot be
+preempted across a process boundary, so its eventual result is simply
+discarded — and both the duplicate and the cancellation are recorded in
+counters and the task's span.
 """
 
 from __future__ import annotations
 
+import statistics
 import time
 from collections import defaultdict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Dict, List, Sequence
 
 from ..observability.tracing import Span
 from .counters import Counters
 from .hdfs import HDFSFile, SimulatedHDFS
 from .job import MapReduceJob
-from .runtime import JobResult, LocalRuntime, TaskStats, _approx_size
+from .runtime import (
+    JobResult,
+    LocalRuntime,
+    TaskStats,
+    _approx_size,
+    _empty_reduce_output,
+)
+from .scheduler import SPECULATIVE_ATTEMPT_BASE
 
 __all__ = ["ParallelRuntime"]
+
+#: Seconds between speculation checks while a phase has tasks in flight.
+_POLL_SECONDS = 0.02
 
 
 def _run_map_task(args):
@@ -36,19 +58,21 @@ def _run_map_task(args):
     trees of builtins and use epoch timestamps, so they pickle cleanly
     and stay comparable with spans built in the parent process.
     """
-    runtime, job, task_id, block = args
+    runtime, job, task_id, block, speculative = args
     ctx, pairs, wall, span = runtime._run_attempts(
         "map", task_id,
         lambda ctx: runtime._map_attempt(job, block, ctx),
+        empty=list, speculative=speculative,
     )
     return task_id, pairs, wall, ctx.cost_units, ctx.counters, span
 
 
 def _run_reduce_task(args):
-    runtime, job, reducer_id, groups = args
+    runtime, job, reducer_id, groups, speculative = args
     ctx, (outputs, n_in), wall, span = runtime._run_attempts(
         "reduce", reducer_id,
         lambda ctx: runtime._reduce_attempt(job, groups, ctx),
+        empty=_empty_reduce_output, speculative=speculative,
     )
     return (reducer_id, outputs, n_in, wall, ctx.cost_units,
             ctx.counters, span)
@@ -65,9 +89,10 @@ class ParallelRuntime(LocalRuntime):
         max_attempts: int = 4,
         workers: int = 4,
         tracer=None,
+        scheduler=None,
     ) -> None:
         super().__init__(cluster, hdfs, failure_injector, max_attempts,
-                         tracer=tracer)
+                         tracer=tracer, scheduler=scheduler)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -86,82 +111,199 @@ class ParallelRuntime(LocalRuntime):
             runtime=type(self).__name__, workers=self.workers,
         )
         # One retry-capable LocalRuntime travels to the workers; it only
-        # carries configuration (cluster shape, injector), not state —
-        # the tracer stays home, task spans return with the results.
+        # carries configuration (cluster shape, injector, scheduler), not
+        # state — the tracer stays home, task spans return with results.
         worker_rt = LocalRuntime(
             self.cluster, failure_injector=self.failure_injector,
-            max_attempts=self.max_attempts,
+            scheduler=self.scheduler,
         )
 
-        t0 = time.perf_counter()
-        map_span = job_span.child("map", "phase", n_tasks=len(blocks))
-        reducer_inputs: List[Dict[Any, List[Any]]] = [
-            defaultdict(list) for _ in range(job.n_reducers)
-        ]
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            map_results = list(
-                pool.map(
-                    _run_map_task,
-                    [
-                        (worker_rt, job, task_id, block)
-                        for task_id, block in enumerate(blocks)
-                    ],
+            t0 = time.perf_counter()
+            map_span = job_span.child("map", "phase", n_tasks=len(blocks))
+            reducer_inputs: List[Dict[Any, List[Any]]] = [
+                defaultdict(list) for _ in range(job.n_reducers)
+            ]
+            map_results = self._run_phase(
+                pool, _run_map_task,
+                {
+                    task_id: (worker_rt, job, task_id, block)
+                    for task_id, block in enumerate(blocks)
+                },
+                result.counters,
+            )
+            for task_id, pairs, wall, cost_units, counters, span in (
+                map_results
+            ):
+                for key, value in pairs:
+                    dest = job.partitioner.partition(key, job.n_reducers)
+                    if not 0 <= dest < job.n_reducers:
+                        raise ValueError(
+                            f"partitioner returned {dest} for key "
+                            f"{key!r}; must be in [0, {job.n_reducers})"
+                        )
+                    reducer_inputs[dest][key].append(value)
+                result.map_tasks.append(
+                    TaskStats(task_id, "map", wall, cost_units,
+                              len(blocks[task_id]), len(pairs))
                 )
-            )
-        for task_id, pairs, wall, cost_units, counters, span in sorted(
-            map_results, key=lambda item: item[0]
-        ):
-            for key, value in pairs:
-                dest = job.partitioner.partition(key, job.n_reducers)
-                if not 0 <= dest < job.n_reducers:
-                    raise ValueError(
-                        f"partitioner returned {dest} for key {key!r}; "
-                        f"must be in [0, {job.n_reducers})"
-                    )
-                reducer_inputs[dest][key].append(value)
-            result.map_tasks.append(
-                TaskStats(task_id, "map", wall, cost_units,
-                          len(blocks[task_id]), len(pairs))
-            )
-            result.counters.merge(counters)
-            result.shuffle_records += len(pairs)
-            task_bytes = sum(
-                _approx_size(k) + _approx_size(v) for k, v in pairs
-            )
-            result.shuffle_bytes += task_bytes
-            span.annotate(
-                input_records=len(blocks[task_id]),
-                output_records=len(pairs), shuffle_bytes=task_bytes,
-            )
-            map_span.add_child(span)
-        map_span.finish()
-        result.phase_times["map"] = time.perf_counter() - t0
+                result.counters.merge(counters)
+                result.shuffle_records += len(pairs)
+                task_bytes = sum(
+                    _approx_size(k) + _approx_size(v) for k, v in pairs
+                )
+                result.shuffle_bytes += task_bytes
+                span.annotate(
+                    input_records=len(blocks[task_id]),
+                    output_records=len(pairs), shuffle_bytes=task_bytes,
+                )
+                map_span.add_child(span)
+            map_span.finish()
+            result.phase_times["map"] = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        reduce_span = job_span.child(
-            "reduce", "phase", n_tasks=job.n_reducers
-        )
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            reduce_results = list(
-                pool.map(
-                    _run_reduce_task,
-                    [
-                        (worker_rt, job, rid, dict(reducer_inputs[rid]))
-                        for rid in range(job.n_reducers)
-                    ],
+            t0 = time.perf_counter()
+            reduce_span = job_span.child(
+                "reduce", "phase", n_tasks=job.n_reducers
+            )
+            reduce_results = self._run_phase(
+                pool, _run_reduce_task,
+                {
+                    rid: (worker_rt, job, rid, dict(reducer_inputs[rid]))
+                    for rid in range(job.n_reducers)
+                },
+                result.counters,
+            )
+            for (rid, outputs, n_in, wall, cost_units, counters,
+                 span) in reduce_results:
+                result.outputs.extend(outputs)
+                result.reduce_tasks.append(
+                    TaskStats(rid, "reduce", wall, cost_units, n_in,
+                              len(outputs))
                 )
-            )
-        for rid, outputs, n_in, wall, cost_units, counters, span in sorted(
-            reduce_results, key=lambda item: item[0]
-        ):
-            result.outputs.extend(outputs)
-            result.reduce_tasks.append(
-                TaskStats(rid, "reduce", wall, cost_units, n_in,
-                          len(outputs))
-            )
-            result.counters.merge(counters)
-            span.annotate(input_records=n_in, output_records=len(outputs))
-            reduce_span.add_child(span)
-        reduce_span.finish()
-        result.phase_times["reduce"] = time.perf_counter() - t0
+                result.counters.merge(counters)
+                span.annotate(
+                    input_records=n_in, output_records=len(outputs)
+                )
+                reduce_span.add_child(span)
+            reduce_span.finish()
+            result.phase_times["reduce"] = time.perf_counter() - t0
         return self._commit_trace(result, job_span)
+
+    # ------------------------------------------------------------------
+    def _run_phase(self, pool, fn, payloads, counters):
+        """Dispatch one phase's tasks, speculating on stragglers.
+
+        ``payloads`` maps ``task_id`` to the worker argument tuple
+        (without the trailing ``speculative`` flag).  Returns the worker
+        result tuples sorted by task id — exactly one committed result
+        per task, whichever attempt (primary or speculative duplicate)
+        finished first.
+        """
+        cfg = self.scheduler
+        futures = {}          # future -> (task_id, is_speculative)
+        live = set()
+        primary = {}
+        duplicates = {}       # task_id -> speculative future
+        failed = {}           # task_id -> first exception seen
+        submit_time = {}
+        durations: List[float] = []
+        committed = {}        # task_id -> worker result tuple
+
+        for tid, args in payloads.items():
+            fut = pool.submit(fn, args + (False,))
+            futures[fut] = (tid, False)
+            primary[tid] = fut
+            live.add(fut)
+            submit_time[tid] = time.perf_counter()
+
+        while len(committed) < len(payloads):
+            if not live:  # pragma: no cover - defensive
+                raise RuntimeError("phase stalled: no live attempts")
+            done, _ = wait(
+                live, timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+            )
+            for fut in done:
+                live.discard(fut)
+                tid, is_spec = futures[fut]
+                if tid in committed:
+                    continue  # the cancelled loser finishing late
+                try:
+                    out = fut.result()
+                except Exception as exc:
+                    # The rival attempt (if any) may still commit this
+                    # task; the job only fails once every attempt of a
+                    # task has failed (checked below).
+                    failed.setdefault(tid, exc)
+                    continue
+                committed[tid] = out
+                durations.append(
+                    time.perf_counter() - submit_time[tid]
+                )
+                self._record_outcome(
+                    tid, is_spec, out[-1], primary, duplicates, counters
+                )
+            for tid, exc in failed.items():
+                if tid not in committed and not (
+                    primary[tid] in live
+                    or duplicates.get(tid) in live
+                ):
+                    for other in live:
+                        other.cancel()
+                    raise exc
+            if cfg.speculate:
+                self._speculate(
+                    pool, fn, payloads, cfg, futures, live, duplicates,
+                    failed, committed, submit_time, durations, counters,
+                )
+        return sorted(committed.values(), key=lambda item: item[0])
+
+    @staticmethod
+    def _record_outcome(tid, is_spec, span, primary, duplicates, counters):
+        """Book the commit: who won, who was cancelled, on span+counters."""
+        loser = primary.get(tid) if is_spec else duplicates.get(tid)
+        if is_spec:
+            counters.incr("runtime", "speculative_wins")
+            span.annotate(speculative_winner=True)
+        if loser is None:
+            return
+        loser.cancel()
+        counters.incr("runtime", "cancelled_attempts")
+        # The loser ran (or was queued) in another process; its spans are
+        # discarded with its result, so record a tombstone attempt here.
+        if is_spec:
+            ghost = Span.begin(
+                "attempt 0", "attempt", attempt=0, speculative=False
+            )
+        else:
+            ghost = Span.begin(
+                f"attempt {SPECULATIVE_ATTEMPT_BASE}", "attempt",
+                attempt=SPECULATIVE_ATTEMPT_BASE, speculative=True,
+            )
+        ghost.finish(status="cancelled")
+        span.add_child(ghost)
+
+    @staticmethod
+    def _speculate(pool, fn, payloads, cfg, futures, live, duplicates,
+                   failed, committed, submit_time, durations, counters):
+        """Launch duplicate attempts for tasks flagged as stragglers.
+
+        Elapsed time is measured from submission, so on a saturated pool
+        queued tasks can be flagged early; the duplicates are harmless —
+        attempts are deterministic and only the first commit counts.
+        """
+        if len(durations) < cfg.speculation_min_tasks:
+            return
+        median = statistics.median(durations)
+        if median <= 0:
+            return
+        now = time.perf_counter()
+        for tid in payloads:
+            if (tid in committed or tid in duplicates
+                    or tid in failed):
+                continue
+            if now - submit_time[tid] > cfg.speculation_threshold * median:
+                fut = pool.submit(fn, payloads[tid] + (True,))
+                futures[fut] = (tid, True)
+                duplicates[tid] = fut
+                live.add(fut)
+                counters.incr("runtime", "speculative_attempts")

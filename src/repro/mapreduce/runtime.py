@@ -29,6 +29,7 @@ from .cluster import ClusterConfig
 from .counters import Counters
 from .hdfs import HDFSFile, SimulatedHDFS
 from .job import MapReduceJob, TaskContext
+from .scheduler import SchedulerConfig, TaskScheduler
 
 __all__ = ["TaskStats", "JobResult", "LocalRuntime"]
 
@@ -117,6 +118,12 @@ class LocalRuntime:
     ``failure_injector``, or real exceptions from user code) are retried
     up to ``max_attempts`` times before the job errors out.  Retried wall
     time is accounted in the task's stats, as it would be on a cluster.
+
+    The retry loop itself is delegated to a
+    :class:`~repro.mapreduce.scheduler.TaskScheduler`: pass a
+    :class:`~repro.mapreduce.scheduler.SchedulerConfig` to add
+    per-attempt timeouts, retry backoff, and graceful degradation
+    (``max_attempts`` is then taken from the config).
     """
 
     def __init__(
@@ -126,13 +133,16 @@ class LocalRuntime:
         failure_injector=None,
         max_attempts: int = 4,
         tracer: Tracer | None = None,
+        scheduler: SchedulerConfig | None = None,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         self.hdfs = hdfs or SimulatedHDFS(self.cluster)
         self.failure_injector = failure_injector
-        if max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
-        self.max_attempts = max_attempts
+        # SchedulerConfig validates max_attempts >= 1 either way.
+        self.scheduler = scheduler or SchedulerConfig(
+            max_attempts=max_attempts
+        )
+        self.max_attempts = self.scheduler.max_attempts
         self.tracer = tracer
 
     # ------------------------------------------------------------------
@@ -168,6 +178,7 @@ class LocalRuntime:
             ctx, pairs, wall, task_span = self._run_attempts(
                 "map", task_id,
                 lambda ctx: self._map_attempt(job, block, ctx),
+                empty=list,
             )
             for key, value in pairs:
                 dest = job.partitioner.partition(key, job.n_reducers)
@@ -205,6 +216,7 @@ class LocalRuntime:
             ctx, (outputs, n_in), wall, task_span = self._run_attempts(
                 "reduce", reducer_id,
                 lambda ctx: self._reduce_attempt(job, groups, ctx),
+                empty=_empty_reduce_output,
             )
             result.outputs.extend(outputs)
             result.reduce_tasks.append(
@@ -223,6 +235,18 @@ class LocalRuntime:
     # ------------------------------------------------------------------
     def _commit_trace(self, result: JobResult, job_span: Span) -> JobResult:
         """Finalize the job span and hand it to the tracer, if any."""
+        skipped = result.counters.group("runtime_skipped")
+        if skipped:
+            import warnings
+
+            warnings.warn(
+                f"job {result.job_name!r}: skipped partitions under "
+                "degradation policy 'skip': "
+                f"{', '.join(sorted(skipped))} — results may be "
+                "incomplete",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         job_span.finish(
             shuffle_records=result.shuffle_records,
             shuffle_bytes=result.shuffle_bytes,
@@ -234,65 +258,21 @@ class LocalRuntime:
             self.tracer.record(job_span)
         return result
 
-    def _run_attempts(self, phase: str, task_id: int, body):
-        """Execute a task with retry-on-failure; commit only on success.
+    def _run_attempts(self, phase: str, task_id: int, body,
+                      empty=None, speculative: bool = False):
+        """Execute a task under the scheduler; commit only on success.
 
         Failed attempts are recorded on the *successful* attempt's context
         counters, so they survive the trip back from worker processes.
         Returns ``(ctx, out, wall, task_span)``; the task span carries one
         ``attempt`` child per attempt (failed ones annotated with the
         error) and, via ``ctx.span``, any spans user code attached.
+        ``empty`` builds the task's empty output for skip-partition
+        degradation; ``speculative`` marks a duplicate straggler copy.
         """
-        task_span = Span.begin(
-            f"{phase}[{task_id}]", "task", phase=phase, task_id=task_id
+        return TaskScheduler(self.scheduler, self.failure_injector).run_task(
+            phase, task_id, body, empty=empty, speculative=speculative
         )
-        wall = 0.0
-        failures = 0
-        for attempt in range(self.max_attempts):
-            ctx = TaskContext(task_id)
-            attempt_span = task_span.child(
-                f"attempt {attempt}", "attempt", attempt=attempt
-            )
-            ctx.span = attempt_span
-            task_start = time.perf_counter()
-            try:
-                if self.failure_injector is not None and (
-                    self.failure_injector.should_fail(
-                        phase, task_id, attempt
-                    )
-                ):
-                    from .failures import SimulatedTaskFailure
-
-                    raise SimulatedTaskFailure(
-                        f"{phase} task {task_id} attempt {attempt}"
-                    )
-                out = body(ctx)
-            except Exception as exc:
-                wall += time.perf_counter() - task_start
-                failures += 1
-                attempt_span.finish(
-                    status="failed", error=type(exc).__name__
-                )
-                if attempt == self.max_attempts - 1:
-                    task_span.finish(
-                        status="failed", failures=failures,
-                        wall_seconds=wall,
-                    )
-                    raise
-                continue
-            wall += time.perf_counter() - task_start
-            attempt_span.finish(status="ok")
-            if failures:
-                ctx.counters.incr(
-                    "runtime", f"{phase}_task_failures", failures
-                )
-            task_span.finish(
-                status="ok", failures=failures, wall_seconds=wall,
-                cost_units=ctx.cost_units,
-                counters=ctx.counters.as_dict(),
-            )
-            return ctx, out, wall, task_span
-        raise AssertionError("unreachable")  # pragma: no cover
 
     def _map_attempt(self, job: MapReduceJob, block, ctx: TaskContext):
         job.mapper.setup(ctx)
@@ -358,6 +338,11 @@ class LocalRuntime:
             for out in job.combiner.reduce(key, values, ctx):
                 combined.append(out)
         return combined
+
+
+def _empty_reduce_output() -> tuple:
+    """Skip-partition placeholder for a reduce task: no outputs, no input."""
+    return [], 0
 
 
 def _approx_size(obj: Any) -> int:

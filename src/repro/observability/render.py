@@ -113,6 +113,28 @@ def render_report(report: RunReport) -> str:
             f"{name}={value}" for name, value in report.failures.items()
         )
         lines.append(f"task failures (retried): {parts}")
+
+    # -- scheduler ------------------------------------------------------
+    sched = report.scheduler
+    if sched and (
+        sched.get("timeouts")
+        or sched.get("speculative_attempts")
+        or sched.get("skipped")
+    ):
+        lines.append(
+            "scheduler: {t} attempt timeout(s), {a} speculative "
+            "attempt(s) ({w} won, {c} cancelled)".format(
+                t=sched.get("timeouts", 0),
+                a=sched.get("speculative_attempts", 0),
+                w=sched.get("speculative_wins", 0),
+                c=sched.get("speculative_cancelled", 0),
+            )
+        )
+        if sched.get("skipped"):
+            lines.append(
+                "  SKIPPED partitions (degraded, results incomplete): "
+                + ", ".join(sched["skipped"])
+            )
     if report.trace:
         n_tasks = len(report.task_spans())
         n_spans = sum(len(list(r.walk())) for r in report.trace)

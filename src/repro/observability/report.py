@@ -122,6 +122,7 @@ class RunReport:
     counter_totals: Dict[str, int] = field(default_factory=dict)
     shuffle: Dict[str, int] = field(default_factory=dict)
     failures: Dict[str, int] = field(default_factory=dict)
+    scheduler: Dict[str, Any] = field(default_factory=dict)
     cost_model: Dict[str, Any] = field(default_factory=dict)
     phase_walls: Dict[str, Dict[str, float]] = field(default_factory=dict)
     trace: List[Span] = field(default_factory=list)
@@ -189,6 +190,7 @@ class RunReport:
                 for name, value in merged.group("runtime").items()
                 if name.endswith("_failures")
             },
+            scheduler=cls._scheduler_summary(merged),
             cost_model=cls._cost_model_comparison(run, loads),
             phase_walls={
                 job.job_name: dict(job.phase_times) for job in run.jobs
@@ -196,6 +198,34 @@ class RunReport:
             trace=cls._collect_trace(result),
         )
         return report
+
+    @staticmethod
+    def _scheduler_summary(merged: Counters) -> Dict[str, Any]:
+        """Retry/timeout/speculation/degradation totals from counters.
+
+        ``skipped`` lists the partitions dropped by the ``skip``
+        degradation policy (``"reduce[3]"`` style labels), the loud
+        record the policy promises.
+        """
+        runtime = merged.group("runtime")
+        spec_attempts = runtime.get("speculative_attempts", 0)
+        spec_wins = runtime.get("speculative_wins", 0)
+        return {
+            "retries": sum(
+                v for n, v in runtime.items()
+                if n.endswith("_task_failures")
+            ),
+            "timeouts": sum(
+                v for n, v in runtime.items()
+                if n.endswith("_task_timeouts")
+            ),
+            "speculative_attempts": spec_attempts,
+            "speculative_wins": spec_wins,
+            # Every launched duplicate either wins or is cancelled.
+            "speculative_cancelled": max(0, spec_attempts - spec_wins),
+            "cancelled_attempts": runtime.get("cancelled_attempts", 0),
+            "skipped": sorted(merged.group("runtime_skipped")),
+        }
 
     @staticmethod
     def _collect_trace(result) -> List[Span]:
@@ -257,6 +287,17 @@ class RunReport:
             if s.kind == "task"
         ]
 
+    def attempt_spans(self) -> List[Span]:
+        """All attempt spans across the recorded trace.
+
+        Speculative duplicates carry ``attrs["speculative"] is True``;
+        timed-out attempts carry ``attrs["status"] == "timeout"``.
+        """
+        return [
+            s for root in self.trace for s in root.walk()
+            if s.kind == "attempt"
+        ]
+
     # -- serialization --------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """The ``run_report`` JSONL line (trace excluded — spans get
@@ -273,6 +314,7 @@ class RunReport:
             "counter_totals": dict(self.counter_totals),
             "shuffle": dict(self.shuffle),
             "failures": dict(self.failures),
+            "scheduler": dict(self.scheduler),
             "cost_model": dict(self.cost_model),
             "phase_walls": {
                 j: dict(p) for j, p in self.phase_walls.items()
@@ -297,6 +339,7 @@ class RunReport:
             counter_totals=dict(data.get("counter_totals", {})),
             shuffle=dict(data.get("shuffle", {})),
             failures=dict(data.get("failures", {})),
+            scheduler=dict(data.get("scheduler", {})),
             cost_model=dict(data.get("cost_model", {})),
             phase_walls=data.get("phase_walls", {}),
             trace=list(trace or []),

@@ -1,0 +1,21 @@
+"""Shared test configuration: hypothesis profiles.
+
+The ``ci`` profile (selected via ``HYPOTHESIS_PROFILE=ci``, as the
+fault-injection CI job does) is derandomized — every run replays the
+same example sequence — and pushes the example count up; the default
+``dev`` profile keeps local tier-1 runs fast.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

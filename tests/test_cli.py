@@ -78,6 +78,42 @@ class TestDetect:
         )
         assert set(report["outliers"]) == oracle
 
+    def test_scheduler_flags(self, csv_points, tmp_path):
+        """Scheduler knobs reach the runtime and don't change answers."""
+        base = tmp_path / "base.json"
+        main(["detect", csv_points, "-r", "2.0", "-k", "5",
+              "--strategy", "DMT", "-o", str(base)])
+        tuned = tmp_path / "tuned.json"
+        code = main([
+            "detect", csv_points, "-r", "2.0", "-k", "5",
+            "--strategy", "DMT", "-o", str(tuned),
+            "--workers", "2", "--max-attempts", "6",
+            "--timeout", "30", "--backoff", "0.01",
+            "--speculate", "--degrade", "skip",
+        ])
+        assert code == 0
+        assert (json.loads(base.read_text())["outliers"]
+                == json.loads(tuned.read_text())["outliers"])
+
+    def test_scheduler_flag_validation(self, csv_points):
+        with pytest.raises(ValueError):
+            main(["detect", csv_points, "-r", "2.0", "-k", "5",
+                  "--max-attempts", "0"])
+
+    def test_trace_out_records_scheduler(self, csv_points, tmp_path,
+                                         capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "detect", csv_points, "-r", "2.0", "-k", "5",
+            "--strategy", "DMT", "--trace-out", str(trace),
+            "--workers", "2", "--speculate",
+        ]) == 0
+        from repro.observability import RunReport
+
+        report = RunReport.load(str(trace))
+        assert "speculative_attempts" in report.scheduler
+        assert main(["trace", str(trace)]) == 0
+
 
 class TestPlanAndInfo:
     def test_plan_roundtrip(self, csv_points, tmp_path):
