@@ -1,0 +1,22 @@
+"""Performance benchmark harness (``repro bench``).
+
+Runs the fixed serial-vs-parallel x transport x detector matrix over a
+fig8-scale workload and emits ``BENCH_<label>.json`` — the artifact that
+seeds the repo's perf trajectory and backs the CI regression gate.
+"""
+
+from .harness import (
+    BenchConfig,
+    check_against,
+    load_bench,
+    run_bench,
+    save_bench,
+)
+
+__all__ = [
+    "BenchConfig",
+    "run_bench",
+    "check_against",
+    "save_bench",
+    "load_bench",
+]

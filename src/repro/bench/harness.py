@@ -1,0 +1,353 @@
+"""Benchmark matrix runner behind ``repro bench``.
+
+The matrix is fixed so results stay comparable run over run: for each
+detector, one serial (in-process) run plus one parallel run per dispatch
+transport, each repeated ``repeats`` times with the **minimum** wall time
+reported (min-of-N is the standard noise filter for microbenchmarks —
+the minimum is the run least disturbed by the OS).
+
+Each ``BENCH_<label>.json`` carries three kinds of numbers:
+
+* **deterministic** — outlier count + SHA-256 of the sorted outlier ids,
+  ``distance_evals``, cost units.  Identical on every machine; the CI
+  gate compares them exactly, and any divergence between transports is a
+  correctness bug, not a perf regression.
+* **machine-local walls** — min/all wall seconds and throughput.  Never
+  compared across machines.
+* **same-machine ratios** — per-task dispatch overhead per transport and
+  the pickle/shm overhead ratio.  Dimensionless and roughly portable, so
+  the CI gate checks them against the checked-in baseline with a
+  one-sided tolerance (a *faster* shm path is never a regression).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..core import detect_outliers
+from ..data import region_dataset
+from ..mapreduce import (
+    ClusterConfig,
+    Counters,
+    LocalRuntime,
+    ParallelRuntime,
+)
+from ..params import OutlierParams
+
+__all__ = [
+    "BenchConfig",
+    "run_bench",
+    "check_against",
+    "save_bench",
+    "load_bench",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One benchmark invocation's knobs.
+
+    The defaults are the fig8-scale acceptance workload: the MA region at
+    base_n=6000 (the scale=1.0 setting of
+    :mod:`repro.experiments.fig8`), r=2.0 / k=12, four workers.
+    ``quick()`` shrinks everything for the CI smoke gate.
+    """
+
+    label: str = "fig8"
+    region: str = "MA"
+    base_n: int = 6_000
+    r: float = 2.0
+    k: int = 12
+    strategy: str = "DMT"
+    detectors: tuple = ("nested_loop", "cell_based")
+    transports: tuple = ("pickle", "shm")
+    workers: int = 4
+    repeats: int = 5
+    n_partitions: int = 16
+    n_reducers: int = 8
+    seed: int = 7
+    nodes: int = 4
+    #: HDFS block size in records — one map task per block, so this sets
+    #: map-side parallelism (the paper ties map tasks to block count).
+    block_records: int = 250
+
+    @classmethod
+    def quick(cls, **overrides) -> "BenchConfig":
+        """Small matrix for the CI regression gate (~seconds, not minutes)."""
+        defaults = dict(
+            label="smoke", base_n=1_500, detectors=("nested_loop",),
+            workers=2, repeats=2, n_partitions=8, n_reducers=4,
+            block_records=250,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+def _outliers_hash(outlier_ids) -> str:
+    blob = ",".join(str(i) for i in sorted(outlier_ids)).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _merged_counters(result) -> Counters:
+    merged = Counters()
+    for job in result.run.jobs:
+        merged.merge(job.counters)
+    return merged
+
+
+def _run_cell(
+    config: BenchConfig,
+    dataset,
+    detector: str,
+    runtime_kind: str,
+    transport: str,
+    log=None,
+) -> Dict[str, Any]:
+    """One matrix cell: ``repeats`` detection runs, min-of-N wall."""
+    params = OutlierParams(r=config.r, k=config.k)
+    walls: List[float] = []
+    detect_walls: List[float] = []
+    tstats_all: List[Dict[str, Any]] = []
+    last = None
+    for _ in range(config.repeats):
+        cluster = ClusterConfig(
+            nodes=config.nodes,
+            hdfs_block_records=config.block_records,
+        )
+        if runtime_kind == "serial":
+            runtime = LocalRuntime(cluster)
+        else:
+            runtime = ParallelRuntime(
+                cluster, workers=config.workers, transport=transport
+            )
+        start = time.perf_counter()
+        last = detect_outliers(
+            dataset, params,
+            strategy=config.strategy, detector=detector,
+            n_partitions=config.n_partitions,
+            n_reducers=config.n_reducers,
+            cluster=cluster, runtime=runtime, seed=config.seed,
+        )
+        walls.append(time.perf_counter() - start)
+        detect_walls.append(last.detect_wall)
+        # The runtime accumulates dispatch stats over *every* job it
+        # ran — planning included — which per-job results undercount
+        # (the planning JobResult is discarded by the strategy).
+        totals = dict(getattr(runtime, "transport_totals", None) or {})
+        if totals:
+            tstats_all.append(totals)
+    counters = _merged_counters(last)
+    # Counters and outliers are deterministic across repeats; dispatch
+    # timing is not, so keep the min-dispatch repeat (same min-of-N
+    # noise filter as the wall times — byte/task counts are identical
+    # in every repeat, only the seconds differ).
+    tstats = (
+        min(tstats_all, key=lambda s: s["dispatch_seconds"])
+        if tstats_all else {}
+    )
+    wall = min(walls)
+    cell = {
+        "runtime": runtime_kind,
+        "transport": transport,
+        "detector": detector,
+        "workers": config.workers if runtime_kind == "parallel" else 0,
+        "repeats": config.repeats,
+        "wall_seconds": wall,
+        "wall_seconds_all": walls,
+        "detect_wall_seconds": min(detect_walls),
+        "throughput_points_per_s": (
+            dataset.n / wall if wall > 0 else 0.0
+        ),
+        "n_outliers": len(last.outlier_ids),
+        "outliers_hash": _outliers_hash(last.outlier_ids),
+        "distance_evals": counters.get("dod", "distance_evals"),
+        "cost_units": last.map_units + last.reduce_units,
+        "shuffle_records": last.run.total_shuffle_records(),
+    }
+    if tstats:
+        cell["transport_stats"] = tstats
+        tasks = tstats.get("tasks", 0)
+        cell["dispatch_per_task_us"] = (
+            tstats["dispatch_seconds"] / tasks * 1e6 if tasks else 0.0
+        )
+    if log is not None:
+        log(
+            f"  {runtime_kind:<8} {transport:<7} {detector:<12} "
+            f"{wall:8.3f}s  outliers={cell['n_outliers']}"
+        )
+    return cell
+
+
+def run_bench(config: BenchConfig, log=None) -> Dict[str, Any]:
+    """Run the full matrix; return the ``BENCH_<label>.json`` payload."""
+    dataset = region_dataset(
+        config.region, base_n=config.base_n, seed=config.seed
+    )
+    if log is not None:
+        log(
+            f"bench '{config.label}': {config.region} n={dataset.n} "
+            f"r={config.r} k={config.k} strategy={config.strategy} "
+            f"workers={config.workers} repeats={config.repeats}"
+        )
+    runs: List[Dict[str, Any]] = []
+    for detector in config.detectors:
+        runs.append(
+            _run_cell(config, dataset, detector, "serial", "inline", log)
+        )
+        for transport in config.transports:
+            runs.append(
+                _run_cell(
+                    config, dataset, detector, "parallel", transport, log
+                )
+            )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": config.label,
+        "workload": {
+            "region": config.region,
+            "n_points": dataset.n,
+            "r": config.r,
+            "k": config.k,
+            "strategy": config.strategy,
+            "n_partitions": config.n_partitions,
+            "n_reducers": config.n_reducers,
+            "workers": config.workers,
+            "seed": config.seed,
+            "block_records": config.block_records,
+        },
+        "runs": runs,
+        "derived": _derive(runs, config),
+    }
+
+
+def _derive(runs: List[Dict[str, Any]], config: BenchConfig) -> Dict[str, Any]:
+    """Cross-cell summaries: transport agreement + dispatch overhead."""
+    derived: Dict[str, Any] = {"per_detector": {}}
+    identical = True
+    for detector in config.detectors:
+        cells = [r for r in runs if r["detector"] == detector]
+        hashes = {c["outliers_hash"] for c in cells}
+        identical &= len(hashes) == 1
+        entry: Dict[str, Any] = {
+            "identical_outliers": len(hashes) == 1,
+        }
+        overhead = {
+            c["transport"]: c["dispatch_per_task_us"]
+            for c in cells if "dispatch_per_task_us" in c
+        }
+        if overhead:
+            entry["dispatch_per_task_us"] = overhead
+        if overhead.get("shm") and overhead.get("pickle"):
+            entry["dispatch_overhead_ratio"] = (
+                overhead["pickle"] / overhead["shm"]
+            )
+        serial = next(
+            (c for c in cells if c["runtime"] == "serial"), None
+        )
+        if serial is not None:
+            entry["speedup_vs_serial"] = {
+                c["transport"]:
+                    serial["wall_seconds"] / c["wall_seconds"]
+                    if c["wall_seconds"] > 0 else 0.0
+                for c in cells if c["runtime"] == "parallel"
+            }
+        derived["per_detector"][detector] = entry
+    derived["identical_outliers"] = identical
+    return derived
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def check_against(
+    result: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Compare a fresh bench result against a checked-in baseline.
+
+    Returns a list of human-readable problems (empty = gate passes):
+
+    * deterministic fields (outlier hash/count, ``distance_evals``, cost
+      units, shuffle volume) must match **exactly** per matrix cell;
+    * the per-detector ``dispatch_overhead_ratio`` (pickle per-task
+      dispatch cost / shm) must not regress below
+      ``baseline * (1 - tolerance)`` — one-sided, because a faster shm
+      path is an improvement, not a deviation;
+    * every detector must keep ``identical_outliers`` true.
+
+    Absolute wall times and throughput are machine-local and never
+    compared.
+    """
+    problems: List[str] = []
+    if result.get("workload") != baseline.get("workload"):
+        problems.append(
+            "workload mismatch: baseline "
+            f"{baseline.get('workload')} != run {result.get('workload')}"
+        )
+        return problems  # nothing else is comparable
+
+    def key(cell):
+        return (cell["runtime"], cell["transport"], cell["detector"])
+
+    base_cells = {key(c): c for c in baseline.get("runs", [])}
+    run_cells = {key(c): c for c in result.get("runs", [])}
+    if set(base_cells) != set(run_cells):
+        problems.append(
+            f"matrix mismatch: baseline cells {sorted(base_cells)} != "
+            f"run cells {sorted(run_cells)}"
+        )
+        return problems
+
+    exact_fields = (
+        "n_outliers", "outliers_hash", "distance_evals", "cost_units",
+        "shuffle_records",
+    )
+    for cell_key, base in base_cells.items():
+        fresh = run_cells[cell_key]
+        for fld in exact_fields:
+            if base.get(fld) != fresh.get(fld):
+                problems.append(
+                    f"{'/'.join(cell_key)}: {fld} baseline "
+                    f"{base.get(fld)} != run {fresh.get(fld)}"
+                )
+
+    base_per = baseline.get("derived", {}).get("per_detector", {})
+    run_per = result.get("derived", {}).get("per_detector", {})
+    for detector, base_entry in base_per.items():
+        run_entry = run_per.get(detector, {})
+        if not run_entry.get("identical_outliers", False):
+            problems.append(
+                f"{detector}: outlier sets differ across transports"
+            )
+        base_ratio = base_entry.get("dispatch_overhead_ratio")
+        run_ratio = run_entry.get("dispatch_overhead_ratio")
+        if base_ratio is not None:
+            floor = base_ratio * (1.0 - tolerance)
+            if run_ratio is None or run_ratio < floor:
+                problems.append(
+                    f"{detector}: dispatch_overhead_ratio regressed to "
+                    f"{run_ratio} (< {floor:.2f} = baseline "
+                    f"{base_ratio:.2f} - {tolerance:.0%})"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# I/O
+# ----------------------------------------------------------------------
+def save_bench(result: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path) as f:
+        return json.load(f)

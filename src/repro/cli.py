@@ -5,9 +5,11 @@ Subcommands::
     python -m repro generate --kind state --name MA -n 30000 -o data.csv
     python -m repro detect data.csv -r 2.0 -k 12 --strategy DMT -o out.json
     python -m repro detect data.csv -r 2.0 -k 12 --trace-out run.jsonl
+    python -m repro detect data.csv -r 2.0 -k 12 --workers 4 --transport shm
     python -m repro trace run.jsonl
     python -m repro plan data.csv -r 2.0 -k 12 --strategy DMT -o plan.json
     python -m repro info data.csv
+    python -m repro bench --quick --check benchmarks/baselines/bench_smoke.json
 
 CSV format: one point per line, ``x,y[,z...]``; an optional leading
 ``id`` column is accepted with ``--with-ids``.
@@ -24,6 +26,7 @@ import numpy as np
 from . import data as datagen
 from .core import Dataset, detect_outliers, resolve_strategy
 from .mapreduce import (
+    TRANSPORTS,
     ClusterConfig,
     LocalRuntime,
     ParallelRuntime,
@@ -82,7 +85,14 @@ def _build_runtime(args: argparse.Namespace, cluster: ClusterConfig):
     )
     if args.workers > 0:
         return ParallelRuntime(
-            cluster, workers=args.workers, scheduler=scheduler
+            cluster, workers=args.workers, scheduler=scheduler,
+            transport=args.transport,
+        )
+    if args.transport != "pickle":
+        print(
+            f"note: --transport {args.transport} needs --workers > 0; "
+            "running serially (in-process, no dispatch transport)",
+            file=sys.stderr,
         )
     return LocalRuntime(cluster, scheduler=scheduler)
 
@@ -150,6 +160,59 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import BenchConfig, check_against, run_bench, save_bench
+
+    overrides = {}
+    if args.label:
+        overrides["label"] = args.label
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.base_n is not None:
+        overrides["base_n"] = args.base_n
+    if args.detectors:
+        overrides["detectors"] = tuple(args.detectors.split(","))
+    if args.quick:
+        config = BenchConfig.quick(**overrides)
+    else:
+        config = BenchConfig(**overrides)
+
+    result = run_bench(config, log=print)
+    out_path = args.output or f"BENCH_{config.label}.json"
+    save_bench(result, out_path)
+    print(f"bench result -> {out_path}")
+
+    derived = result["derived"]
+    for detector, entry in derived["per_detector"].items():
+        ratio = entry.get("dispatch_overhead_ratio")
+        if ratio is not None:
+            print(
+                f"{detector}: shm dispatch {ratio:.2f}x cheaper per "
+                f"task than pickle; identical outliers: "
+                f"{entry['identical_outliers']}"
+            )
+
+    if args.check:
+        with open(args.check) as f:
+            baseline = json.load(f)
+        problems = check_against(
+            result, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            print(f"\nBENCH GATE FAILED vs {args.check}:")
+            for problem in problems:
+                print(f"  {problem}")
+            print(
+                "(if intentional, regenerate the baseline with "
+                f"repro bench --quick -o {args.check})"
+            )
+            return 1
+        print(f"bench gate OK vs {args.check}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.input, args.with_ids)
     bounds = dataset.bounds
@@ -206,6 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--workers", type=int, default=0,
                      help="run tasks in this many worker processes "
                           "(0 = serial in-process execution)")
+    det.add_argument("--transport", choices=list(TRANSPORTS),
+                     default="pickle",
+                     help="dispatch transport with --workers > 0: "
+                          "'pickle' re-serializes each task's payload, "
+                          "'shm' ships shared-memory descriptors "
+                          "(identical results, lower dispatch cost)")
     det.add_argument("--max-attempts", type=int, default=4,
                      help="attempts per task before the degradation "
                           "policy applies (default 4)")
@@ -243,6 +312,35 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("input")
     info.add_argument("--with-ids", action="store_true")
     info.set_defaults(func=_cmd_info)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the serial/parallel x transport x detector perf "
+             "matrix and emit BENCH_<label>.json",
+    )
+    bench.add_argument("--label", default=None,
+                       help="output label (BENCH_<label>.json); "
+                            "defaults to 'fig8', or 'smoke' with --quick")
+    bench.add_argument("--quick", action="store_true",
+                       help="small matrix for CI (one detector, fewer "
+                            "points, 2 workers, 2 repeats)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="runs per matrix cell; min wall is reported")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the parallel cells")
+    bench.add_argument("--base-n", type=int, default=None,
+                       help="base dataset size (region generator)")
+    bench.add_argument("--detectors", default=None,
+                       help="comma-separated detector list")
+    bench.add_argument("-o", "--output", default=None,
+                       help="output path (default BENCH_<label>.json)")
+    bench.add_argument("--check", metavar="BASELINE",
+                       help="compare against a baseline BENCH json; "
+                            "non-zero exit on regression")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="relative tolerance for ratio comparisons "
+                            "with --check (default 0.25)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..detectors import make_detector
+from ..detectors import make_partition_detector
 from ..mapreduce import (
     DictPartitioner,
     HashPartitioner,
@@ -151,7 +151,9 @@ class _DODReducer(Reducer):
         if not core_pts:
             return
         algorithm = self.algorithm_plan.get(key) or self.default_algorithm
-        detector = make_detector(algorithm)
+        # Seeded per partition: partitions must not share one scan
+        # permutation (correlated early-termination across reducers).
+        detector = make_partition_detector(algorithm, key)
         ndim = len(core_pts[0])
         result = detector.run(
             np.asarray(core_pts),
@@ -166,6 +168,9 @@ class _DODReducer(Reducer):
             ctx.span.add_child(result.span)
         ctx.counters.incr("dod", f"algorithm_{algorithm}")
         ctx.counters.incr("dod", "partitions_processed")
+        ctx.counters.incr(
+            "dod", "distance_evals", int(result.distance_evals)
+        )
         for outlier_id in result.outlier_ids:
             yield outlier_id
 
@@ -270,7 +275,7 @@ class _LocalDetectReducer(Reducer):
     def reduce(self, key, values, ctx: TaskContext):
         ids = np.asarray([v[0] for v in values], dtype=np.int64)
         pts = np.asarray([v[1] for v in values], dtype=float)
-        detector = make_detector(self.algorithm)
+        detector = make_partition_detector(self.algorithm, key)
         result = detector.run(
             pts, ids, np.empty((0, pts.shape[1])), self.params
         )
@@ -278,6 +283,9 @@ class _LocalDetectReducer(Reducer):
         if result.span is not None and ctx.span is not None:
             result.span.annotate(partition=key)
             ctx.span.add_child(result.span)
+        ctx.counters.incr(
+            "dod", "distance_evals", int(result.distance_evals)
+        )
         local_outliers = set(result.outlier_ids)
 
         # Exact local counts for the local outliers only (one scan each).
@@ -291,6 +299,10 @@ class _LocalDetectReducer(Reducer):
                 pts[outlier_rows], pts, self.params.r, exclude_self=True
             )
             ctx.add_cost(float(outlier_rows.size * pts.shape[0]))
+            ctx.counters.incr(
+                "dod", "distance_evals",
+                int(outlier_rows.size * pts.shape[0]),
+            )
             exact = {
                 int(ids[row]): int(c)
                 for row, c in zip(outlier_rows, counts)
@@ -353,6 +365,9 @@ class _ConfirmReducer(Reducer):
         pts = np.asarray([c[1] for c in candidates], dtype=float)
         counts = neighbor_counts(pts, own, self.params.r)
         ctx.add_cost(float(pts.shape[0] * own.shape[0]))
+        ctx.counters.incr(
+            "dod", "distance_evals", int(pts.shape[0] * own.shape[0])
+        )
         for (pid, _), count in zip(candidates, counts):
             yield ("partial", pid, int(count))
 

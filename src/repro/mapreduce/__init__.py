@@ -25,6 +25,15 @@ from .job import (
 from .parallel import ParallelRuntime
 from .runtime import JobResult, LocalRuntime, TaskStats
 from .scheduler import SchedulerConfig, TaskScheduler, TaskTimeout
+from .shm import (
+    TRANSPORTS,
+    PickleTransport,
+    ShmArena,
+    ShmTransport,
+    Transport,
+    live_segments,
+    make_transport,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -56,4 +65,11 @@ __all__ = [
     "LocalRuntime",
     "ParallelRuntime",
     "TaskStats",
+    "TRANSPORTS",
+    "Transport",
+    "PickleTransport",
+    "ShmTransport",
+    "ShmArena",
+    "make_transport",
+    "live_segments",
 ]

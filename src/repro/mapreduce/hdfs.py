@@ -9,12 +9,71 @@ per block, which is what ties data size to map parallelism.
 
 from __future__ import annotations
 
+import operator
+
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .cluster import ClusterConfig
 
-__all__ = ["Block", "HDFSFile", "SimulatedHDFS"]
+__all__ = ["Block", "HDFSFile", "SimulatedHDFS", "records_as_arrays"]
+
+
+def records_as_arrays(
+    records: Sequence,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Columnar ``(ids, points)`` arrays for ``(id, point)`` records.
+
+    The detection pipeline's HDFS record format is ``(id, point)`` with a
+    plain-int id and a 1-D numeric point of uniform dimensionality.  When
+    ``records`` matches that shape, return ``(ids int64 (n,), points
+    (n, d))`` with the points' original dtype preserved — the columnar
+    form the shared-memory transport writes into its segments.  Return
+    ``None`` for anything else (empty blocks, mixed shapes, non-numeric
+    payloads); callers then fall back to generic serialization.
+    """
+    if not records:
+        return None
+    first = records[0]
+    if type(first) is not tuple or len(first) != 2:
+        return None
+    p0 = first[1]
+    if (
+        not isinstance(p0, np.ndarray)
+        or p0.ndim != 1
+        or p0.dtype.kind not in "fiu"
+    ):
+        return None
+    # Validation runs as C-level set/map passes over whole columns
+    # rather than a per-record Python loop: this sits on the dispatch
+    # hot path of the shared-memory transport.  The uniform-dtype check
+    # is load-bearing — np.stack would silently upcast a mixed
+    # float32/float64 column, changing detector arithmetic downstream.
+    if (
+        set(map(type, records)) != {tuple}
+        or set(map(len, records)) != {2}
+    ):
+        return None
+    ids = [r[0] for r in records]
+    rows = [r[1] for r in records]
+    if set(map(type, ids)) != {int} or set(map(type, rows)) != {np.ndarray}:
+        return None
+    get_dtype = operator.attrgetter("dtype")
+    get_shape = operator.attrgetter("shape")
+    if (
+        set(map(get_dtype, rows)) != {p0.dtype}
+        or set(map(get_shape, rows)) != {p0.shape}
+    ):
+        return None
+    try:
+        id_col = np.asarray(ids, dtype=np.int64)
+    except OverflowError:  # ids beyond int64 range
+        return None
+    # np.stack copies row by row in C (handling non-contiguous inputs)
+    # and keeps the uniform dtype verified above.
+    return id_col, np.stack(rows)
 
 
 @dataclass(frozen=True)
@@ -27,6 +86,10 @@ class Block:
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def as_arrays(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Columnar ``(ids, points)`` view of this block, when possible."""
+        return records_as_arrays(self.records)
 
 
 @dataclass

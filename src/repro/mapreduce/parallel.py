@@ -22,6 +22,16 @@ logically, as on a real cluster: an attempt already running cannot be
 preempted across a process boundary, so its eventual result is simply
 discarded — and both the duplicate and the cancellation are recorded in
 counters and the task's span.
+
+**Dispatch transport** is pluggable (``transport="pickle" | "shm"``, see
+:mod:`repro.mapreduce.shm`): the pickle transport re-serializes the job
+context and payload per task (the historical wire format, now measured),
+while the shm transport writes everything into shared-memory segments
+once and ships descriptors — speculative duplicates then resubmit a
+~200-byte envelope instead of re-pickling the partition.  Results are
+identical by construction either way; per-job dispatch cost lands in
+``JobResult.transport``, the ``transport`` counter group, and the task
+spans.
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ from .runtime import (
     _empty_reduce_output,
 )
 from .scheduler import SPECULATIVE_ATTEMPT_BASE
+from .shm import TRANSPORTS, make_transport, open_envelope
 
 __all__ = ["ParallelRuntime"]
 
@@ -58,7 +69,8 @@ def _run_map_task(args):
     trees of builtins and use epoch timestamps, so they pickle cleanly
     and stay comparable with spans built in the parent process.
     """
-    runtime, job, task_id, block, speculative = args
+    envelope, speculative = args
+    runtime, job, task_id, block = open_envelope(envelope)
     ctx, pairs, wall, span = runtime._run_attempts(
         "map", task_id,
         lambda ctx: runtime._map_attempt(job, block, ctx),
@@ -68,7 +80,8 @@ def _run_map_task(args):
 
 
 def _run_reduce_task(args):
-    runtime, job, reducer_id, groups, speculative = args
+    envelope, speculative = args
+    runtime, job, reducer_id, groups = open_envelope(envelope)
     ctx, (outputs, n_in), wall, span = runtime._run_attempts(
         "reduce", reducer_id,
         lambda ctx: runtime._reduce_attempt(job, groups, ctx),
@@ -90,12 +103,23 @@ class ParallelRuntime(LocalRuntime):
         workers: int = 4,
         tracer=None,
         scheduler=None,
+        transport: str = "pickle",
     ) -> None:
         super().__init__(cluster, hdfs, failure_injector, max_attempts,
                          tracer=tracer, scheduler=scheduler)
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; known: {TRANSPORTS}"
+            )
         self.workers = workers
+        self.transport = transport
+        self.transport_label = transport
+        # Dispatch accounting summed over every job this runtime ran —
+        # pipelines discard intermediate JobResults (e.g. the planning
+        # job's), so per-job stats alone undercount a run's dispatches.
+        self.transport_totals: Dict[str, Any] = {}
 
     def run(
         self,
@@ -109,6 +133,7 @@ class ParallelRuntime(LocalRuntime):
             f"job:{job.name}", "job",
             job=job.name, n_reducers=job.n_reducers,
             runtime=type(self).__name__, workers=self.workers,
+            transport=self.transport,
         )
         # One retry-capable LocalRuntime travels to the workers; it only
         # carries configuration (cluster shape, injector, scheduler), not
@@ -117,87 +142,129 @@ class ParallelRuntime(LocalRuntime):
             self.cluster, failure_injector=self.failure_injector,
             scheduler=self.scheduler,
         )
+        worker_rt.transport_label = self.transport
+        transport = make_transport(self.transport)
+        transport.open_job(worker_rt, job)
 
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            t0 = time.perf_counter()
-            map_span = job_span.child("map", "phase", n_tasks=len(blocks))
-            reducer_inputs: List[Dict[Any, List[Any]]] = [
-                defaultdict(list) for _ in range(job.n_reducers)
-            ]
-            map_results = self._run_phase(
-                pool, _run_map_task,
-                {
-                    task_id: (worker_rt, job, task_id, block)
-                    for task_id, block in enumerate(blocks)
-                },
-                result.counters,
-            )
-            for task_id, pairs, wall, cost_units, counters, span in (
-                map_results
-            ):
-                for key, value in pairs:
-                    dest = job.partitioner.partition(key, job.n_reducers)
-                    if not 0 <= dest < job.n_reducers:
-                        raise ValueError(
-                            f"partitioner returned {dest} for key "
-                            f"{key!r}; must be in [0, {job.n_reducers})"
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                t0 = time.perf_counter()
+                map_span = job_span.child(
+                    "map", "phase", n_tasks=len(blocks)
+                )
+                reducer_inputs: List[Dict[Any, List[Any]]] = [
+                    defaultdict(list) for _ in range(job.n_reducers)
+                ]
+                envelopes, task_bytes_map = transport.encode_tasks(
+                    dict(enumerate(blocks))
+                )
+                map_results = self._run_phase(
+                    pool, _run_map_task, envelopes, result.counters,
+                )
+                for task_id, pairs, wall, cost_units, counters, span in (
+                    map_results
+                ):
+                    for key, value in pairs:
+                        dest = job.partitioner.partition(
+                            key, job.n_reducers
                         )
-                    reducer_inputs[dest][key].append(value)
-                result.map_tasks.append(
-                    TaskStats(task_id, "map", wall, cost_units,
-                              len(blocks[task_id]), len(pairs))
-                )
-                result.counters.merge(counters)
-                result.shuffle_records += len(pairs)
-                task_bytes = sum(
-                    _approx_size(k) + _approx_size(v) for k, v in pairs
-                )
-                result.shuffle_bytes += task_bytes
-                span.annotate(
-                    input_records=len(blocks[task_id]),
-                    output_records=len(pairs), shuffle_bytes=task_bytes,
-                )
-                map_span.add_child(span)
-            map_span.finish()
-            result.phase_times["map"] = time.perf_counter() - t0
+                        if not 0 <= dest < job.n_reducers:
+                            raise ValueError(
+                                f"partitioner returned {dest} for key "
+                                f"{key!r}; must be in "
+                                f"[0, {job.n_reducers})"
+                            )
+                        reducer_inputs[dest][key].append(value)
+                    result.map_tasks.append(
+                        TaskStats(task_id, "map", wall, cost_units,
+                                  len(blocks[task_id]), len(pairs))
+                    )
+                    result.counters.merge(counters)
+                    result.shuffle_records += len(pairs)
+                    task_bytes = sum(
+                        _approx_size(k) + _approx_size(v)
+                        for k, v in pairs
+                    )
+                    result.shuffle_bytes += task_bytes
+                    span.annotate(
+                        input_records=len(blocks[task_id]),
+                        output_records=len(pairs),
+                        shuffle_bytes=task_bytes,
+                        dispatch_bytes=task_bytes_map[task_id],
+                    )
+                    map_span.add_child(span)
+                map_span.finish()
+                result.phase_times["map"] = time.perf_counter() - t0
 
-            t0 = time.perf_counter()
-            reduce_span = job_span.child(
-                "reduce", "phase", n_tasks=job.n_reducers
-            )
-            reduce_results = self._run_phase(
-                pool, _run_reduce_task,
-                {
-                    rid: (worker_rt, job, rid, dict(reducer_inputs[rid]))
-                    for rid in range(job.n_reducers)
-                },
-                result.counters,
-            )
-            for (rid, outputs, n_in, wall, cost_units, counters,
-                 span) in reduce_results:
-                result.outputs.extend(outputs)
-                result.reduce_tasks.append(
-                    TaskStats(rid, "reduce", wall, cost_units, n_in,
-                              len(outputs))
+                t0 = time.perf_counter()
+                reduce_span = job_span.child(
+                    "reduce", "phase", n_tasks=job.n_reducers
                 )
-                result.counters.merge(counters)
-                span.annotate(
-                    input_records=n_in, output_records=len(outputs)
+                envelopes, task_bytes_map = transport.encode_tasks(
+                    {
+                        rid: dict(reducer_inputs[rid])
+                        for rid in range(job.n_reducers)
+                    }
                 )
-                reduce_span.add_child(span)
-            reduce_span.finish()
-            result.phase_times["reduce"] = time.perf_counter() - t0
+                reduce_results = self._run_phase(
+                    pool, _run_reduce_task, envelopes, result.counters,
+                )
+                for (rid, outputs, n_in, wall, cost_units, counters,
+                     span) in reduce_results:
+                    result.outputs.extend(outputs)
+                    result.reduce_tasks.append(
+                        TaskStats(rid, "reduce", wall, cost_units, n_in,
+                                  len(outputs))
+                    )
+                    result.counters.merge(counters)
+                    span.annotate(
+                        input_records=n_in, output_records=len(outputs),
+                        dispatch_bytes=task_bytes_map[rid],
+                    )
+                    reduce_span.add_child(span)
+                reduce_span.finish()
+                result.phase_times["reduce"] = time.perf_counter() - t0
+        finally:
+            # Deterministic data-plane teardown: shared-memory segments
+            # are unlinked here even when a task exhausts its attempts
+            # and the job errors out mid-phase.
+            transport.close()
+
+        stats = transport.stats()
+        result.transport = stats
+        totals = self.transport_totals
+        totals["name"] = stats["name"]
+        for key, value in stats.items():
+            if key != "name":
+                totals[key] = totals.get(key, 0) + value
+        result.counters.incr(
+            "transport", "dispatch_bytes", int(stats["dispatch_bytes"])
+        )
+        result.counters.incr(
+            "transport", "dispatch_us",
+            int(stats["dispatch_seconds"] * 1e6),
+        )
+        result.counters.incr("transport", "tasks", int(stats["tasks"]))
+        result.counters.incr(
+            "transport", "segments", int(stats["segments"])
+        )
+        result.counters.incr(
+            "transport", "segment_bytes", int(stats["segment_bytes"])
+        )
+        job_span.annotate(
+            dispatch_bytes=int(stats["dispatch_bytes"]),
+            dispatch_seconds=stats["dispatch_seconds"],
+        )
         return self._commit_trace(result, job_span)
 
     # ------------------------------------------------------------------
     def _run_phase(self, pool, fn, payloads, counters):
         """Dispatch one phase's tasks, speculating on stragglers.
 
-        ``payloads`` maps ``task_id`` to the worker argument tuple
-        (without the trailing ``speculative`` flag).  Returns the worker
-        result tuples sorted by task id — exactly one committed result
-        per task, whichever attempt (primary or speculative duplicate)
-        finished first.
+        ``payloads`` maps ``task_id`` to the transport envelope for that
+        task.  Returns the worker result tuples sorted by task id —
+        exactly one committed result per task, whichever attempt
+        (primary or speculative duplicate) finished first.
         """
         cfg = self.scheduler
         futures = {}          # future -> (task_id, is_speculative)
@@ -209,8 +276,8 @@ class ParallelRuntime(LocalRuntime):
         durations: List[float] = []
         committed = {}        # task_id -> worker result tuple
 
-        for tid, args in payloads.items():
-            fut = pool.submit(fn, args + (False,))
+        for tid, envelope in payloads.items():
+            fut = pool.submit(fn, (envelope, False))
             futures[fut] = (tid, False)
             primary[tid] = fut
             live.add(fut)
@@ -302,7 +369,10 @@ class ParallelRuntime(LocalRuntime):
                     or tid in failed):
                 continue
             if now - submit_time[tid] > cfg.speculation_threshold * median:
-                fut = pool.submit(fn, payloads[tid] + (True,))
+                # Speculative duplicates reuse the encoded envelope —
+                # with the shm transport that is a descriptor, not a
+                # re-pickled partition.
+                fut = pool.submit(fn, (payloads[tid], True))
                 futures[fut] = (tid, True)
                 duplicates[tid] = fut
                 live.add(fut)

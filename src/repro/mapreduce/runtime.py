@@ -59,6 +59,9 @@ class JobResult:
     shuffle_records: int = 0
     shuffle_bytes: int = 0
     trace: Span | None = None
+    #: Dispatch-transport accounting (``Transport.stats()``) — empty for
+    #: the serial runtime, which never crosses a process boundary.
+    transport: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def simulated_time(
@@ -144,6 +147,10 @@ class LocalRuntime:
         )
         self.max_attempts = self.scheduler.max_attempts
         self.tracer = tracer
+        # "inline" = tasks run in-process, nothing crosses a pipe.
+        # ParallelRuntime overrides this with its transport choice so
+        # task spans record how their payload actually travelled.
+        self.transport_label = "inline"
 
     # ------------------------------------------------------------------
     def run(
@@ -271,7 +278,8 @@ class LocalRuntime:
         degradation; ``speculative`` marks a duplicate straggler copy.
         """
         return TaskScheduler(self.scheduler, self.failure_injector).run_task(
-            phase, task_id, body, empty=empty, speculative=speculative
+            phase, task_id, body, empty=empty, speculative=speculative,
+            transport=self.transport_label,
         )
 
     def _map_attempt(self, job: MapReduceJob, block, ctx: TaskContext):

@@ -174,6 +174,7 @@ class TaskScheduler:
         body: Callable[[TaskContext], object],
         empty: Optional[Callable[[], object]] = None,
         speculative: bool = False,
+        transport: Optional[str] = None,
     ) -> Tuple[TaskContext, object, float, Span]:
         """Run ``body`` with retry/timeout/backoff; commit only on success.
 
@@ -184,13 +185,17 @@ class TaskScheduler:
         the scheduler always fails fast.  ``speculative`` marks this
         execution as a duplicate straggler copy: its attempts are
         numbered from :data:`SPECULATIVE_ATTEMPT_BASE` so injectors can
-        model it running on a healthy node.
+        model it running on a healthy node.  ``transport`` annotates the
+        task span with how the payload reached this process ("inline",
+        "pickle", or "shm").
         """
         cfg = self.config
         base = SPECULATIVE_ATTEMPT_BASE if speculative else 0
         task_span = Span.begin(
             f"{phase}[{task_id}]", "task", phase=phase, task_id=task_id
         )
+        if transport is not None:
+            task_span.annotate(transport=transport)
         if speculative:
             task_span.annotate(speculative=True)
         wall = 0.0

@@ -135,6 +135,25 @@ def render_report(report: RunReport) -> str:
                 "  SKIPPED partitions (degraded, results incomplete): "
                 + ", ".join(sched["skipped"])
             )
+    # -- transport ------------------------------------------------------
+    tp = report.transport
+    if tp:
+        lines.append(
+            "transport {name}: {tasks} task dispatches, {db} bytes in "
+            "{ds:.4f}s".format(
+                name=tp.get("name", "?"),
+                tasks=tp.get("tasks", 0),
+                db=tp.get("dispatch_bytes", 0),
+                ds=float(tp.get("dispatch_seconds", 0.0)),
+            )
+        )
+        if tp.get("segments"):
+            lines.append(
+                "  shm: {segs} segment(s), {sb} bytes".format(
+                    segs=tp.get("segments", 0),
+                    sb=tp.get("segment_bytes", 0),
+                )
+            )
     if report.trace:
         n_tasks = len(report.task_spans())
         n_spans = sum(len(list(r.walk())) for r in report.trace)

@@ -125,6 +125,7 @@ class RunReport:
     scheduler: Dict[str, Any] = field(default_factory=dict)
     cost_model: Dict[str, Any] = field(default_factory=dict)
     phase_walls: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    transport: Dict[str, Any] = field(default_factory=dict)
     trace: List[Span] = field(default_factory=list)
 
     # -- construction ---------------------------------------------------
@@ -195,9 +196,29 @@ class RunReport:
             phase_walls={
                 job.job_name: dict(job.phase_times) for job in run.jobs
             },
+            transport=cls._transport_summary(run),
             trace=cls._collect_trace(result),
         )
         return report
+
+    @staticmethod
+    def _transport_summary(run) -> Dict[str, Any]:
+        """Dispatch-transport totals summed across the run's jobs.
+
+        Empty for serial runs — ``JobResult.transport`` only fills when
+        tasks cross a process boundary.
+        """
+        stats = [
+            job.transport for job in run.jobs
+            if getattr(job, "transport", None)
+        ]
+        if not stats:
+            return {}
+        summary: Dict[str, Any] = {"name": stats[0].get("name", "?")}
+        for key in ("tasks", "dispatch_seconds", "dispatch_bytes",
+                    "context_bytes", "segments", "segment_bytes"):
+            summary[key] = sum(s.get(key, 0) for s in stats)
+        return summary
 
     @staticmethod
     def _scheduler_summary(merged: Counters) -> Dict[str, Any]:
@@ -319,6 +340,7 @@ class RunReport:
             "phase_walls": {
                 j: dict(p) for j, p in self.phase_walls.items()
             },
+            "transport": dict(self.transport),
         }
 
     @classmethod
@@ -342,6 +364,7 @@ class RunReport:
             scheduler=dict(data.get("scheduler", {})),
             cost_model=dict(data.get("cost_model", {})),
             phase_walls=data.get("phase_walls", {}),
+            transport=dict(data.get("transport", {})),
             trace=list(trace or []),
         )
 

@@ -1,0 +1,125 @@
+"""Tests for the ``repro bench`` harness and its regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    check_against,
+    load_bench,
+    run_bench,
+    save_bench,
+)
+
+TINY = BenchConfig(
+    label="tiny", base_n=120, r=2.0, k=3,
+    detectors=("nested_loop",), transports=("pickle", "shm"),
+    workers=2, repeats=1, n_partitions=4, n_reducers=2,
+    block_records=30,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_bench(TINY)
+
+
+class TestBenchConfig:
+    def test_quick_shrinks_the_matrix(self):
+        q = BenchConfig.quick()
+        full = BenchConfig()
+        assert q.label == "smoke"
+        assert q.base_n < full.base_n
+        assert q.repeats <= full.repeats
+        assert len(q.detectors) <= len(full.detectors)
+
+    def test_quick_accepts_overrides(self):
+        q = BenchConfig.quick(label="x", workers=1, repeats=3)
+        assert (q.label, q.workers, q.repeats) == ("x", 1, 3)
+
+
+class TestRunBench:
+    def test_matrix_shape(self, tiny_result):
+        runs = tiny_result["runs"]
+        # serial + one parallel cell per transport, per detector
+        assert len(runs) == len(TINY.detectors) * (
+            1 + len(TINY.transports)
+        )
+        kinds = {(r["runtime"], r["transport"]) for r in runs}
+        assert kinds == {
+            ("serial", "inline"),
+            ("parallel", "pickle"),
+            ("parallel", "shm"),
+        }
+
+    def test_deterministic_fields_agree_across_cells(self, tiny_result):
+        runs = tiny_result["runs"]
+        for field in ("n_outliers", "outliers_hash", "distance_evals",
+                      "shuffle_records"):
+            assert len({r[field] for r in runs}) == 1, field
+        assert tiny_result["derived"]["identical_outliers"] is True
+
+    def test_parallel_cells_carry_dispatch_stats(self, tiny_result):
+        for cell in tiny_result["runs"]:
+            if cell["runtime"] == "parallel":
+                assert cell["transport_stats"]["tasks"] > 0
+                assert cell["dispatch_per_task_us"] > 0
+            else:
+                assert "transport_stats" not in cell
+
+    def test_derived_has_overhead_ratio(self, tiny_result):
+        entry = tiny_result["derived"]["per_detector"]["nested_loop"]
+        assert entry["dispatch_overhead_ratio"] > 0
+        assert set(entry["dispatch_per_task_us"]) == {"pickle", "shm"}
+
+
+class TestCheckAgainst:
+    def test_identical_result_passes(self, tiny_result):
+        assert check_against(tiny_result, tiny_result) == []
+
+    def test_changed_outliers_fail(self, tiny_result):
+        fresh = copy.deepcopy(tiny_result)
+        fresh["runs"][0]["outliers_hash"] = "deadbeefdeadbeef"
+        problems = check_against(tiny_result, fresh)
+        assert any("outliers_hash" in p for p in problems)
+
+    def test_ratio_regression_fails_one_sided(self, tiny_result):
+        fresh = copy.deepcopy(tiny_result)
+        entry = fresh["derived"]["per_detector"]["nested_loop"]
+        base = tiny_result["derived"]["per_detector"]["nested_loop"][
+            "dispatch_overhead_ratio"
+        ]
+        entry["dispatch_overhead_ratio"] = base * 0.5
+        problems = check_against(fresh, tiny_result, tolerance=0.25)
+        assert any("dispatch_overhead_ratio" in p for p in problems)
+        # a *faster* shm path is an improvement, never a failure
+        entry["dispatch_overhead_ratio"] = base * 10
+        assert check_against(fresh, tiny_result, tolerance=0.25) == []
+
+    def test_workload_mismatch_short_circuits(self, tiny_result):
+        fresh = copy.deepcopy(tiny_result)
+        fresh["workload"]["n_points"] += 1
+        problems = check_against(fresh, tiny_result)
+        assert len(problems) == 1 and "workload" in problems[0]
+
+    def test_matrix_mismatch_reported(self, tiny_result):
+        fresh = copy.deepcopy(tiny_result)
+        fresh["runs"] = fresh["runs"][:-1]
+        problems = check_against(fresh, tiny_result)
+        assert any("matrix mismatch" in p for p in problems)
+
+    def test_divergent_transports_fail(self, tiny_result):
+        fresh = copy.deepcopy(tiny_result)
+        fresh["derived"]["per_detector"]["nested_loop"][
+            "identical_outliers"
+        ] = False
+        problems = check_against(fresh, tiny_result)
+        assert any("differ across transports" in p for p in problems)
+
+
+class TestBenchIO:
+    def test_save_load_roundtrip(self, tiny_result, tmp_path):
+        path = tmp_path / "BENCH_tiny.json"
+        save_bench(tiny_result, str(path))
+        assert load_bench(str(path)) == tiny_result

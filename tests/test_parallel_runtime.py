@@ -43,7 +43,13 @@ class TestParallelRuntime:
             job(), records, block_records=20
         )
         assert sorted(serial.outputs) == sorted(parallel.outputs)
-        assert serial.counters.as_dict() == parallel.counters.as_dict()
+        # The "transport" counter group accounts dispatch cost, which only
+        # exists when tasks cross a process boundary; every other group
+        # must match the serial run exactly.
+        serial_counters = serial.counters.as_dict()
+        parallel_counters = parallel.counters.as_dict()
+        parallel_counters.pop("transport", None)
+        assert serial_counters == parallel_counters
         assert serial.shuffle_records == parallel.shuffle_records
 
     def test_same_cost_units(self):
