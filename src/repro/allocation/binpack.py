@@ -25,7 +25,14 @@ __all__ = ["Allocation", "allocate"]
 
 @dataclass(frozen=True)
 class Allocation:
-    """Result of packing ``len(costs)`` items into ``n_bins`` bins."""
+    """Result of packing ``len(costs)`` items into ``n_bins`` bins.
+
+    Packing zero items yields the *empty allocation*: no assignment, no
+    bins (``bin_loads == ()``), makespan 0.  Its ``imbalance`` is defined
+    as 1.0 by convention (nothing is unbalanced), but callers scheduling
+    work per bin must consult ``bin_loads`` — an empty allocation means
+    *no reducers*, not ``n_bins`` idle ones.
+    """
 
     assignment: tuple[int, ...]  # item index -> bin index
     bin_loads: tuple[float, ...]
@@ -36,7 +43,10 @@ class Allocation:
 
     @property
     def imbalance(self) -> float:
-        """max load / mean load (1.0 = perfectly balanced)."""
+        """max load / mean load (1.0 = perfectly balanced).
+
+        Empty and all-zero-cost allocations report 1.0 vacuously.
+        """
         if not self.bin_loads:
             return 1.0
         mean = sum(self.bin_loads) / len(self.bin_loads)
@@ -61,6 +71,11 @@ def allocate(
     costs = [float(c) for c in costs]
     if any(c < 0 for c in costs):
         raise ValueError("costs must be non-negative")
+    if not costs:
+        # The empty allocation: an all-pruned input must not come back
+        # as "n_bins perfectly balanced empty bins" — downstream code
+        # would schedule a phantom reducer per bin.
+        return Allocation((), ())
     assignment = [0] * len(costs)
     loads = [0.0] * n_bins
 

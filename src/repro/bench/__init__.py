@@ -12,10 +12,13 @@ from .harness import (
     run_bench,
     save_bench,
 )
+from .streaming import StreamBenchConfig, run_stream_bench
 
 __all__ = [
     "BenchConfig",
+    "StreamBenchConfig",
     "run_bench",
+    "run_stream_bench",
     "check_against",
     "save_bench",
     "load_bench",

@@ -6,10 +6,13 @@ Subcommands::
     python -m repro detect data.csv -r 2.0 -k 12 --strategy DMT -o out.json
     python -m repro detect data.csv -r 2.0 -k 12 --trace-out run.jsonl
     python -m repro detect data.csv -r 2.0 -k 12 --workers 4 --transport shm
+    python -m repro detect data.csv -r 2.0 -k 12 --append day2.csv
+    python -m repro stream data.csv -r 2.0 -k 12 --batch-size 500
     python -m repro trace run.jsonl
     python -m repro plan data.csv -r 2.0 -k 12 --strategy DMT -o plan.json
     python -m repro info data.csv
     python -m repro bench --quick --check benchmarks/baselines/bench_smoke.json
+    python -m repro bench --stream --quick
 
 CSV format: one point per line, ``x,y[,z...]``; an optional leading
 ``id`` column is accepted with ``--with-ids``.
@@ -40,10 +43,52 @@ __all__ = ["main"]
 
 
 def _load_dataset(path: str, with_ids: bool) -> Dataset:
-    raw = np.loadtxt(path, delimiter=",", ndmin=2)
+    source = sys.stdin if path == "-" else path
+    raw = np.loadtxt(source, delimiter=",", ndmin=2)
     if with_ids:
         return Dataset(raw[:, 1:], raw[:, 0].astype(np.int64))
     return Dataset.from_points(raw)
+
+
+def _validate_runtime_flags(args) -> tuple[list, list]:
+    """Reject or call out nonsensical runtime/scheduler flag combos.
+
+    Returns ``(errors, warnings)``: errors abort the command (exit 2),
+    warnings go to stderr but the run proceeds.
+    """
+    errors: list[str] = []
+    warnings: list[str] = []
+    if args.workers == 0 and args.transport != "pickle":
+        errors.append(
+            f"--transport {args.transport} requires --workers > 0: "
+            "serial execution is in-process and never dispatches "
+            "task payloads"
+        )
+    if args.speculate and args.workers == 0:
+        errors.append(
+            "--speculate requires --workers > 0: the serial runtime "
+            "runs one attempt at a time, so a duplicate straggler "
+            "attempt could never overlap the original"
+        )
+    if args.timeout is not None and args.timeout <= 0:
+        errors.append("--timeout must be positive")
+    if args.speculate and args.timeout is None and not errors:
+        warnings.append(
+            "warning: --speculate without --timeout: stragglers are "
+            "duplicated once detected, but a hung original attempt is "
+            "never reaped; consider adding --timeout"
+        )
+    return errors, warnings
+
+
+def _enforce_runtime_flags(args) -> int:
+    """Print validation results; non-zero = abort the command."""
+    errors, warnings = _validate_runtime_flags(args)
+    for message in warnings:
+        print(message, file=sys.stderr)
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    return 2 if errors else 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -97,7 +142,22 @@ def _build_runtime(args: argparse.Namespace, cluster: ClusterConfig):
     return LocalRuntime(cluster, scheduler=scheduler)
 
 
+def _write_report(report: dict, output: str | None) -> None:
+    text = json.dumps(report, indent=2)
+    if output:
+        with open(output, "w") as f:
+            f.write(text)
+        print(f"{report['n_outliers']} outliers -> {output}")
+    else:
+        print(text)
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
+    code = _enforce_runtime_flags(args)
+    if code:
+        return code
+    if args.append:
+        return _detect_append(args)
     dataset, params, cluster = _detect(args)
     result = detect_outliers(
         dataset, params, strategy=args.strategy,
@@ -120,13 +180,109 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         )
         run_report.save(args.trace_out)
         print(f"trace report -> {args.trace_out}")
-    text = json.dumps(report, indent=2)
-    if args.output:
-        with open(args.output, "w") as f:
-            f.write(text)
-        print(f"{report['n_outliers']} outliers -> {args.output}")
-    else:
-        print(text)
+    _write_report(report, args.output)
+    return 0
+
+
+def _streaming_detector(args, params, cluster):
+    from .streaming import StreamingDetector
+
+    return StreamingDetector(
+        params,
+        strategy=args.strategy,
+        detector=args.detector,
+        runtime=_build_runtime(args, cluster),
+        cluster=cluster,
+        drift_threshold=args.drift_threshold,
+        seed=args.seed,
+    )
+
+
+def _batch_summary(report) -> dict:
+    return {
+        "batch": report.batch_index,
+        "points": report.n_points,
+        "points_seen": report.n_seen,
+        "dirty_partitions": report.dirty_partitions,
+        "total_partitions": report.total_partitions,
+        "dirty_ratio": report.dirty_ratio,
+        "cache_hit": report.cache_hit,
+        "invalidation_reason": report.invalidation_reason,
+        "n_outliers": len(report.outlier_ids),
+        "wall_seconds": report.wall_seconds,
+    }
+
+
+def _stream_report(detector, params, batches: list) -> dict:
+    return {
+        "n_points": detector.n_seen,
+        "params": {"r": params.r, "k": params.k},
+        "strategy": detector.strategy.name,
+        "outliers": sorted(detector.outlier_ids),
+        "n_outliers": len(detector.outlier_ids),
+        "batches": batches,
+        "streaming": detector.counters.group("streaming"),
+    }
+
+
+def _detect_append(args: argparse.Namespace) -> int:
+    """``detect --append``: initial detection + incremental batches."""
+    dataset, params, cluster = _detect(args)
+    detector = _streaming_detector(args, params, cluster)
+    batches = [_batch_summary(detector.ingest(dataset))]
+    for path in args.append:
+        batch = _load_dataset(path, args.with_ids)
+        if args.with_ids:
+            report = detector.ingest(batch)
+        else:
+            report = detector.ingest_points(batch.points)
+        batches.append(_batch_summary(report))
+        print(
+            f"appended {path}: +{report.n_points} points, "
+            f"{report.dirty_partitions}/{report.total_partitions} "
+            "partitions re-detected",
+            file=sys.stderr,
+        )
+    _write_report(_stream_report(detector, params, batches), args.output)
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    code = _enforce_runtime_flags(args)
+    if code:
+        return code
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    dataset = _load_dataset(args.input, args.with_ids)
+    params = OutlierParams(r=args.r, k=args.k)
+    cluster = ClusterConfig(nodes=args.nodes)
+    detector = _streaming_detector(args, params, cluster)
+
+    n_initial = (
+        args.initial if args.initial is not None else args.batch_size
+    )
+    n_initial = max(1, min(n_initial, dataset.n))
+    cuts = [0, n_initial]
+    while cuts[-1] < dataset.n:
+        cuts.append(min(dataset.n, cuts[-1] + args.batch_size))
+    batches = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        report = detector.ingest(dataset.subset(np.arange(lo, hi)))
+        batches.append(_batch_summary(report))
+        status = (
+            "hit" if report.cache_hit
+            else f"rebuild({report.invalidation_reason or 'initial'})"
+        )
+        print(
+            f"batch {report.batch_index}: +{report.n_points} pts "
+            f"(total {report.n_seen}), dirty "
+            f"{report.dirty_partitions}/{report.total_partitions} "
+            f"({report.dirty_ratio:.0%}), plan {status}, "
+            f"outliers {len(report.outlier_ids)}",
+            file=sys.stderr,
+        )
+    _write_report(_stream_report(detector, params, batches), args.output)
     return 0
 
 
@@ -160,9 +316,49 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_bench(args: argparse.Namespace) -> int:
+    from .bench import StreamBenchConfig, run_stream_bench, save_bench
+
+    if args.check:
+        print(
+            "error: --check compares the fixed perf matrix; it does not "
+            "apply to --stream",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {}
+    if args.label:
+        overrides["label"] = args.label
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.base_n is not None:
+        overrides["base_n"] = args.base_n
+    if args.quick:
+        config = StreamBenchConfig.quick(**overrides)
+    else:
+        config = StreamBenchConfig(**overrides)
+
+    result = run_stream_bench(config, log=print)
+    out_path = args.output or f"STREAM_{config.label}.json"
+    save_bench(result, out_path)
+    print(f"stream bench result -> {out_path}")
+
+    derived = result["derived"]
+    print(
+        f"incremental {derived['incremental_total_seconds']:.3f}s vs "
+        f"full re-runs {derived['full_rerun_total_seconds']:.3f}s "
+        f"({derived['speedup_vs_full']:.2f}x); identical outliers: "
+        f"{derived['identical_outliers']}; plan cache hit rate "
+        f"{derived['plan_cache_hit_rate']:.0%}"
+    )
+    return 0 if derived["identical_outliers"] else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import BenchConfig, check_against, run_bench, save_bench
 
+    if args.stream:
+        return _stream_bench(args)
     overrides = {}
     if args.label:
         overrides["label"] = args.label
@@ -255,6 +451,38 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nodes", type=int, default=4)
         p.add_argument("--seed", type=int, default=1)
 
+    def add_runtime_flags(p):
+        p.add_argument("--straggler-threshold", type=float, default=2.0,
+                       help="flag tasks costing more than this multiple "
+                            "of the phase median (default 2.0); also the "
+                            "speculation trigger with --speculate")
+        p.add_argument("--workers", type=int, default=0,
+                       help="run tasks in this many worker processes "
+                            "(0 = serial in-process execution)")
+        p.add_argument("--transport", choices=list(TRANSPORTS),
+                       default="pickle",
+                       help="dispatch transport with --workers > 0: "
+                            "'pickle' re-serializes each task's payload, "
+                            "'shm' ships shared-memory descriptors "
+                            "(identical results, lower dispatch cost)")
+        p.add_argument("--max-attempts", type=int, default=4,
+                       help="attempts per task before the degradation "
+                            "policy applies (default 4)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt wall-clock timeout in seconds "
+                            "(default: none)")
+        p.add_argument("--backoff", type=float, default=0.0,
+                       help="base delay before the first retry, doubling "
+                            "per retry with seeded jitter (default 0 = "
+                            "retry immediately)")
+        p.add_argument("--speculate", action="store_true",
+                       help="launch duplicate attempts for straggler "
+                            "tasks (needs --workers > 0)")
+        p.add_argument("--degrade", choices=["fail", "skip"],
+                       default="fail",
+                       help="when a task exhausts its attempts: fail the "
+                            "run, or skip its partition with a warning")
+
     det = sub.add_parser("detect", help="run the detection pipeline")
     add_common(det)
     det.add_argument("--detector", default="nested_loop")
@@ -262,37 +490,38 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--trace-out", metavar="PATH",
                      help="write the JSONL run report (spans, reducer "
                           "loads, skew, stragglers) here")
-    det.add_argument("--straggler-threshold", type=float, default=2.0,
-                     help="flag tasks costing more than this multiple "
-                          "of the phase median (default 2.0); also the "
-                          "speculation trigger with --speculate")
-    det.add_argument("--workers", type=int, default=0,
-                     help="run tasks in this many worker processes "
-                          "(0 = serial in-process execution)")
-    det.add_argument("--transport", choices=list(TRANSPORTS),
-                     default="pickle",
-                     help="dispatch transport with --workers > 0: "
-                          "'pickle' re-serializes each task's payload, "
-                          "'shm' ships shared-memory descriptors "
-                          "(identical results, lower dispatch cost)")
-    det.add_argument("--max-attempts", type=int, default=4,
-                     help="attempts per task before the degradation "
-                          "policy applies (default 4)")
-    det.add_argument("--timeout", type=float, default=None,
-                     help="per-attempt wall-clock timeout in seconds "
-                          "(default: none)")
-    det.add_argument("--backoff", type=float, default=0.0,
-                     help="base delay before the first retry, doubling "
-                          "per retry with seeded jitter (default 0 = "
-                          "retry immediately)")
-    det.add_argument("--speculate", action="store_true",
-                     help="launch duplicate attempts for straggler "
-                          "tasks (needs --workers > 0)")
-    det.add_argument("--degrade", choices=["fail", "skip"],
-                     default="fail",
-                     help="when a task exhausts its attempts: fail the "
-                          "run, or skip its partition with a warning")
+    det.add_argument("--append", metavar="CSV", action="append",
+                     default=[],
+                     help="after the initial detection, ingest this CSV "
+                          "as an incremental micro-batch (repeatable); "
+                          "only the partitions it dirties are re-run")
+    det.add_argument("--drift-threshold", type=float, default=0.25,
+                     help="density drift (total-variation distance) that "
+                          "invalidates the cached partition plan with "
+                          "--append (default 0.25)")
+    add_runtime_flags(det)
     det.set_defaults(func=_cmd_detect)
+
+    stream = sub.add_parser(
+        "stream",
+        help="incremental detection over micro-batches of a CSV (or "
+             "stdin with '-'); re-runs only dirty partitions per batch",
+    )
+    add_common(stream)
+    stream.add_argument("--detector", default="nested_loop")
+    stream.add_argument("--batch-size", type=int, default=500,
+                        help="points per micro-batch (default 500)")
+    stream.add_argument("--initial", type=int, default=None,
+                        help="size of the initial bulk-load batch "
+                             "(default: --batch-size)")
+    stream.add_argument("--drift-threshold", type=float, default=0.25,
+                        help="density drift (total-variation distance) "
+                             "that invalidates the cached partition plan "
+                             "(default 0.25)")
+    stream.add_argument("-o", "--output",
+                        help="write the final JSON report here")
+    add_runtime_flags(stream)
+    stream.set_defaults(func=_cmd_stream)
 
     trace = sub.add_parser(
         "trace", help="render a JSONL run report written by "
@@ -324,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="small matrix for CI (one detector, fewer "
                             "points, 2 workers, 2 repeats)")
+    bench.add_argument("--stream", action="store_true",
+                       help="run the streaming benchmark instead: "
+                            "incremental micro-batches vs full re-runs, "
+                            "emitting STREAM_<label>.json")
     bench.add_argument("--repeats", type=int, default=None,
                        help="runs per matrix cell; min wall is reported")
     bench.add_argument("--workers", type=int, default=None,

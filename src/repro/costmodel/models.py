@@ -30,6 +30,18 @@ parameters ``(r, k)``.
 * **Corollary 4.3**: pick Cell-Based in either pruning regime, Nested-Loop
   in between.
 
+Degenerate partitions
+---------------------
+A zero-area partition (all points coincident — common in streaming
+micro-batches of repeated readings) is treated by *every* model as the
+infinitely-dense limit: Cell-Based collapses to one occupied cell in its
+rule-1 pruning regime, Nested-Loop terminates after exactly ``k`` hits
+per point (or a full scan when ``n <= k``), and the index models clamp
+per-query visits at ``n``.  All costs stay finite and mutually
+comparable, so :func:`select_algorithm` makes one consistent, cheapest
+choice instead of comparing a vacuous ``scan_floor`` scan against an
+infinite density.
+
 Implementation calibration
 --------------------------
 The lemmas count abstract scalar operations; the library's deterministic
@@ -103,8 +115,12 @@ def expected_occupied_cells(
     — close to ``n`` when points are sparse (every point its own cell) and
     close to ``C`` when dense (cells shared).
     """
-    if n <= 0 or area <= 0:
+    if n <= 0:
         return 0.0
+    if area <= 0:
+        # Degenerate (zero-area) data: every point hashes to the same
+        # cell, so exactly one cell is occupied.
+        return 1.0
     cell_area = (r / (2.0 * math.sqrt(ndim))) ** ndim
     available = area / cell_area
     if available <= 0:
@@ -128,9 +144,13 @@ def nested_loop_cost(
     if n <= 0:
         return 0.0
     if area <= 0:
-        # Zero-area (degenerate) partitions are maximally dense: every
-        # point terminates within its first scan chunk.
-        return n * min(scan_floor, n)
+        # Zero-area (degenerate) partitions are the infinitely-dense
+        # limit: every candidate a point examines is a neighbor, so the
+        # scan terminates after exactly k hits — never fewer — or after
+        # exhausting the partition when n <= k.  (The lemma's expectation
+        # k * A / A(p) tends to 0 here, but a point must still *find* k
+        # neighbors before it can stop.)
+        return n * min(max(scan_floor, float(params.k)), n)
     per_point = params.k * area / ball_volume(params.r, ndim)
     return n * min(max(per_point, scan_floor), n)
 
@@ -185,7 +205,9 @@ def kdtree_cost(
         return 0.0
     log_n = max(1.0, math.log2(max(n, 2.0)))
     expected_neighbors = density(n, area) * ball_volume(params.r, ndim)
-    return n * log_n + n * max(expected_neighbors, 1.0)
+    # A range count can visit at most the n points that exist; this also
+    # keeps the degenerate zero-area case (infinite density) finite.
+    return n * log_n + n * min(max(expected_neighbors, 1.0), n)
 
 
 def cell_based_ring_cost(

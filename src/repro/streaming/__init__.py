@@ -1,0 +1,10 @@
+"""Incremental micro-batch detection (the streaming workload layer).
+
+See :mod:`repro.streaming.detector` for the dirty-partition rule and
+:mod:`repro.streaming.plan_cache` for DMT plan reuse and invalidation.
+"""
+
+from .detector import StreamBatchReport, StreamingDetector
+from .plan_cache import DMTPlanCache
+
+__all__ = ["DMTPlanCache", "StreamBatchReport", "StreamingDetector"]

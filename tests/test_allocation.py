@@ -33,6 +33,15 @@ class TestAllocate:
         assert result.makespan == 0.0
         assert result.as_table() == {}
 
+    def test_empty_schedules_no_bins(self):
+        """Regression: packing zero items must yield the explicit empty
+        allocation — not n_bins zero-load bins a caller would schedule a
+        phantom reducer for each of."""
+        result = allocate([], 4)
+        assert result.assignment == ()
+        assert result.bin_loads == ()
+        assert result.imbalance == 1.0
+
     def test_zero_bins_rejected(self):
         with pytest.raises(ValueError):
             allocate([1.0], 0)

@@ -123,3 +123,23 @@ class TestBenchIO:
         path = tmp_path / "BENCH_tiny.json"
         save_bench(tiny_result, str(path))
         assert load_bench(str(path)) == tiny_result
+
+
+class TestStreamBench:
+    def test_tiny_stream_bench(self):
+        from repro.bench import StreamBenchConfig, run_stream_bench
+
+        config = StreamBenchConfig(
+            label="tiny_stream", base_n=400, n_batches=2,
+            n_partitions=4, n_reducers=2, initial_fraction=0.6,
+        )
+        result = run_stream_bench(config)
+        assert result["mode"] == "stream"
+        assert len(result["batches"]) == 2
+        assert result["derived"]["identical_outliers"]
+        counters = result["derived"]["streaming_counters"]
+        assert counters["batches"] == 3  # initial load + 2 micro-batches
+        for row in result["batches"]:
+            assert row["incremental_wall_seconds"] > 0
+            assert row["full_rerun_wall_seconds"] > 0
+            assert 0 < row["dirty_ratio"] <= 1.0

@@ -115,6 +115,96 @@ class TestDetect:
         assert main(["trace", str(trace)]) == 0
 
 
+class TestRuntimeFlagValidation:
+    def test_shm_without_workers_errors(self, csv_points, capsys):
+        code = main(["detect", csv_points, "-r", "2.0", "-k", "5",
+                     "--transport", "shm", "--workers", "0"])
+        assert code == 2
+        assert "--workers > 0" in capsys.readouterr().err
+
+    def test_speculate_without_workers_errors(self, csv_points, capsys):
+        code = main(["detect", csv_points, "-r", "2.0", "-k", "5",
+                     "--speculate"])
+        assert code == 2
+        assert "--speculate requires" in capsys.readouterr().err
+
+    def test_nonpositive_timeout_errors(self, csv_points, capsys):
+        code = main(["detect", csv_points, "-r", "2.0", "-k", "5",
+                     "--timeout", "0"])
+        assert code == 2
+        assert "--timeout must be positive" in capsys.readouterr().err
+
+    def test_speculate_without_timeout_warns_but_runs(
+        self, csv_points, tmp_path, capsys
+    ):
+        out = tmp_path / "r.json"
+        code = main(["detect", csv_points, "-r", "2.0", "-k", "5",
+                     "--workers", "2", "--speculate", "-o", str(out)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "warning" in err and "--timeout" in err
+
+    def test_stream_subcommand_validates_too(self, csv_points, capsys):
+        code = main(["stream", csv_points, "-r", "2.0", "-k", "5",
+                     "--transport", "shm"])
+        assert code == 2
+        assert "--workers > 0" in capsys.readouterr().err
+
+
+class TestStreaming:
+    def test_stream_matches_detect(self, csv_points, tmp_path):
+        full = tmp_path / "full.json"
+        main(["detect", csv_points, "-r", "2.0", "-k", "5", "-o",
+              str(full)])
+        streamed = tmp_path / "stream.json"
+        code = main([
+            "stream", csv_points, "-r", "2.0", "-k", "5",
+            "--batch-size", "60", "--initial", "200",
+            "-o", str(streamed),
+        ])
+        assert code == 0
+        full_report = json.loads(full.read_text())
+        stream_report = json.loads(streamed.read_text())
+        assert stream_report["outliers"] == full_report["outliers"]
+        counters = stream_report["streaming"]
+        assert counters["batches"] == 3
+        assert counters["points"] == 320
+        assert len(stream_report["batches"]) == 3
+
+    def test_stream_rejects_bad_batch_size(self, csv_points, capsys):
+        code = main(["stream", csv_points, "-r", "2.0", "-k", "5",
+                     "--batch-size", "0"])
+        assert code == 2
+        assert "--batch-size" in capsys.readouterr().err
+
+    def test_detect_append_matches_one_shot(self, tmp_path):
+        rng = np.random.default_rng(2)
+        pts = np.vstack([
+            rng.normal((10, 10), 1.0, size=(250, 2)),
+            rng.uniform(0, 30, size=(30, 2)),
+        ])
+        base, day2 = tmp_path / "base.csv", tmp_path / "day2.csv"
+        np.savetxt(base, pts[:200], delimiter=",")
+        np.savetxt(day2, pts[200:], delimiter=",")
+        everything = tmp_path / "all.csv"
+        np.savetxt(everything, pts, delimiter=",")
+
+        appended = tmp_path / "appended.json"
+        code = main([
+            "detect", str(base), "-r", "2.0", "-k", "5",
+            "--append", str(day2), "-o", str(appended),
+        ])
+        assert code == 0
+        oneshot = tmp_path / "oneshot.json"
+        main(["detect", str(everything), "-r", "2.0", "-k", "5",
+              "-o", str(oneshot)])
+        app_report = json.loads(appended.read_text())
+        assert app_report["n_points"] == 280
+        assert (app_report["outliers"]
+                == json.loads(oneshot.read_text())["outliers"])
+        assert app_report["streaming"]["batches"] == 2
+
+
 class TestPlanAndInfo:
     def test_plan_roundtrip(self, csv_points, tmp_path):
         from repro.partitioning import load_plan

@@ -184,6 +184,50 @@ class TestSelection:
         assert kdtree_cost(0, 100.0, PARAMS) == 0.0
 
 
+class TestDegenerateConsistency:
+    """Regression: zero-area partitions (all points coincident) must get
+    one consistent infinitely-dense-limit treatment across the models,
+    so select_algorithm compares finite, commensurable costs instead of
+    a vacuous scan-floor scan against an infinite density."""
+
+    def test_all_models_finite_at_zero_area(self):
+        for algorithm in ("nested_loop", "cell_based",
+                          "cell_based_ring", "kdtree", "pivot"):
+            cost = estimate_cost(algorithm, 500, 0.0, PARAMS)
+            assert math.isfinite(cost) and cost > 0, algorithm
+
+    def test_nested_loop_charges_k_hits_per_point(self):
+        # Infinitely dense: every candidate is a neighbor, so each point
+        # stops after exactly k hits (never the 1-candidate scan floor).
+        assert nested_loop_cost(100, 0.0, PARAMS) == pytest.approx(
+            100 * PARAMS.k
+        )
+        # ... unless the partition is smaller than k: full scan.
+        assert nested_loop_cost(3, 0.0, PARAMS) == pytest.approx(3 * 3)
+
+    def test_occupied_cells_collapse_to_one(self):
+        assert expected_occupied_cells(1000, 0.0, PARAMS.r) == 1.0
+
+    def test_cell_based_is_pure_indexing(self):
+        n = 1000
+        assert cell_based_cost(n, 0.0, PARAMS) == pytest.approx(
+            INDEX_WEIGHT * n + CELL_WEIGHT * 1.0
+        )
+
+    def test_selection_is_argmin_of_the_same_costs(self):
+        # The original bug: select_algorithm and the per-model costs
+        # disagreed about degenerate partitions, so the planner could
+        # pick an algorithm its own model said was more expensive.
+        for n in (2, 10, 500, 50_000):
+            candidates = ("nested_loop", "cell_based")
+            chosen = select_algorithm(n, 0.0, PARAMS,
+                                      candidates=candidates)
+            costs = {
+                a: estimate_cost(a, n, 0.0, PARAMS) for a in candidates
+            }
+            assert costs[chosen] == min(costs.values())
+
+
 class TestBucketwise:
     def test_uniform_buckets_match_lemma(self):
         """On a uniform partition the bucketwise NL cost equals Lemma 4.1."""

@@ -157,6 +157,40 @@ class TestDifferential:
         ).outlier_ids == []
 
 
+@given(dataset=lattice_datasets(), params=outlier_params(),
+       data=st.data())
+def test_any_batch_split_matches_full_rerun(dataset, params, data):
+    """Streaming ingestion is split-invariant: ANY way of chopping the
+    stream into micro-batches yields the one-shot pipeline's (and the
+    oracle's) exact outlier set after the final batch."""
+    from repro.core import detect_outliers
+    from repro.mapreduce import ClusterConfig
+    from repro.streaming import StreamingDetector
+
+    n = dataset.n
+    cuts = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n - 1),
+            unique=True, max_size=3,
+        ).map(sorted),
+        label="cuts",
+    )
+    cluster = ClusterConfig(nodes=2)
+    streaming = StreamingDetector(
+        params, cluster=cluster,
+        n_partitions=4, n_reducers=2, seed=2,
+    )
+    for lo, hi in zip([0, *cuts], [*cuts, n]):
+        if hi > lo:
+            streaming.ingest(dataset.subset(np.arange(lo, hi)))
+    full = detect_outliers(
+        dataset, params, cluster=cluster,
+        n_partitions=4, n_reducers=2, seed=2,
+    )
+    oracle = brute_force_outliers(dataset, params)
+    assert streaming.outlier_ids == full.outlier_ids == oracle
+
+
 @pytest.mark.parametrize("detector", DETECTORS, ids=DETECTOR_IDS)
 @given(dataset=lattice_datasets(), params=outlier_params())
 def test_support_point_split_matches_oracle(detector, dataset, params):
