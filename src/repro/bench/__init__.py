@@ -12,12 +12,15 @@ from .harness import (
     run_bench,
     save_bench,
 )
+from .recovery import RecoveryBenchConfig, run_recovery_bench
 from .streaming import StreamBenchConfig, run_stream_bench
 
 __all__ = [
     "BenchConfig",
+    "RecoveryBenchConfig",
     "StreamBenchConfig",
     "run_bench",
+    "run_recovery_bench",
     "run_stream_bench",
     "check_against",
     "save_bench",

@@ -7,12 +7,17 @@ Subcommands::
     python -m repro detect data.csv -r 2.0 -k 12 --trace-out run.jsonl
     python -m repro detect data.csv -r 2.0 -k 12 --workers 4 --transport shm
     python -m repro detect data.csv -r 2.0 -k 12 --append day2.csv
+    python -m repro detect data.csv -r 2.0 -k 12 --checkpoint-dir ckpt/
+    python -m repro resume ckpt/
     python -m repro stream data.csv -r 2.0 -k 12 --batch-size 500
+    python -m repro stream data.csv -r 2.0 -k 12 --snapshot state.json
+    python -m repro clean-shm --dry-run
     python -m repro trace run.jsonl
     python -m repro plan data.csv -r 2.0 -k 12 --strategy DMT -o plan.json
     python -m repro info data.csv
     python -m repro bench --quick --check benchmarks/baselines/bench_smoke.json
     python -m repro bench --stream --quick
+    python -m repro bench --recovery --quick
 
 CSV format: one point per line, ``x,y[,z...]``; an optional leading
 ``id`` column is accepted with ``--with-ids``.
@@ -39,12 +44,67 @@ from .observability import RunReport, render_report
 from .params import OutlierParams
 from .partitioning import PlanRequest, save_plan
 
-__all__ = ["main"]
+__all__ = ["main", "CLIError"]
 
 
-def _load_dataset(path: str, with_ids: bool) -> Dataset:
+class CLIError(Exception):
+    """A user-facing failure: printed as ``error: ...``, exit code 2.
+
+    The boundary between "the tool is broken" (traceback, please file a
+    bug) and "the invocation is wrong or the input is bad" (clear
+    message, no traceback).
+    """
+
+
+#: Rows diverted by ``--quarantine-out`` across the current command —
+#: surfaced as the ``rows_quarantined`` counter in JSON reports.
+_last_quarantined = 0
+
+
+def _load_dataset(
+    path: str, with_ids: bool, quarantine_out: str | None = None
+) -> Dataset:
+    from .data.io import finite_row_mask
+
     source = sys.stdin if path == "-" else path
-    raw = np.loadtxt(source, delimiter=",", ndmin=2)
+    try:
+        raw = np.loadtxt(source, delimiter=",", ndmin=2)
+    except FileNotFoundError:
+        raise CLIError(f"input file not found: {path}") from None
+    except (OSError, ValueError) as exc:
+        # np.loadtxt raises ValueError for ragged rows (dimension
+        # mismatch) and unparsable fields alike.
+        raise CLIError(
+            f"could not read {path} as CSV points: {exc}"
+        ) from exc
+    if raw.shape[0] == 0:
+        raise CLIError(f"{path}: no points")
+    if with_ids and raw.shape[1] < 2:
+        raise CLIError(
+            f"{path}: --with-ids needs an id column plus at least one "
+            "coordinate column"
+        )
+    coords = raw[:, 1:] if with_ids else raw
+    mask = finite_row_mask(coords)
+    n_bad = int((~mask).sum())
+    global _last_quarantined
+    _last_quarantined += n_bad if quarantine_out is not None else 0
+    if n_bad:
+        if quarantine_out is None:
+            raise CLIError(
+                f"{path}: {n_bad} rows have NaN/inf coordinates; fix "
+                "the input or pass --quarantine-out FILE to divert "
+                "them and continue"
+            )
+        np.savetxt(quarantine_out, raw[~mask], delimiter=",", fmt="%.8g")
+        print(
+            f"quarantined {n_bad} rows with non-finite coordinates "
+            f"-> {quarantine_out}",
+            file=sys.stderr,
+        )
+        raw = raw[mask]
+        if raw.shape[0] == 0:
+            raise CLIError(f"{path}: every row was quarantined")
     if with_ids:
         return Dataset(raw[:, 1:], raw[:, 0].astype(np.int64))
     return Dataset.from_points(raw)
@@ -111,7 +171,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _detect(args: argparse.Namespace):
-    dataset = _load_dataset(args.input, args.with_ids)
+    dataset = _load_dataset(
+        args.input, args.with_ids,
+        getattr(args, "quarantine_out", None),
+    )
     params = OutlierParams(r=args.r, k=args.k)
     cluster = ClusterConfig(nodes=args.nodes)
     return dataset, params, cluster
@@ -156,6 +219,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     code = _enforce_runtime_flags(args)
     if code:
         return code
+    if args.checkpoint_dir:
+        if args.append:
+            raise CLIError(
+                "--checkpoint-dir journals a single detection run; it "
+                "cannot be combined with --append (snapshot the stream "
+                "with 'repro stream --snapshot' instead)"
+            )
+        return _detect_checkpointed(args)
     if args.append:
         return _detect_append(args)
     dataset, params, cluster = _detect(args)
@@ -174,6 +245,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         "breakdown_seconds": result.breakdown(),
         "load_imbalance": result.load_imbalance,
     }
+    if args.quarantine_out:
+        report["rows_quarantined"] = _last_quarantined
     if args.trace_out:
         run_report = result.report(
             straggler_threshold=args.straggler_threshold
@@ -182,6 +255,90 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         print(f"trace report -> {args.trace_out}")
     _write_report(report, args.output)
     return 0
+
+
+def _checkpoint_report(result, params) -> dict:
+    report = {
+        "params": {"r": params.r, "k": params.k},
+        "outliers": sorted(result.outlier_ids),
+        "n_outliers": len(result.outlier_ids),
+        "resumed": result.resumed,
+        "partitions_replayed": result.replayed_partitions,
+        "partitions_executed": result.executed_partitions,
+        "recovery": result.counters.group("recovery"),
+    }
+    if _last_quarantined:
+        report["rows_quarantined"] = _last_quarantined
+    return report
+
+
+def _run_checkpointed_cli(args, checkpoint_dir: str) -> int:
+    """Shared driver behind ``detect --checkpoint-dir`` and ``resume``."""
+    from .recovery import CheckpointMismatch, run_checkpointed
+
+    dataset, params, cluster = _detect(args)
+    try:
+        result = run_checkpointed(
+            dataset, params, checkpoint_dir,
+            strategy=args.strategy, detector=args.detector,
+            runtime=_build_runtime(args, cluster), cluster=cluster,
+            seed=args.seed,
+            manifest_extra={
+                "input": args.input,
+                "with_ids": bool(args.with_ids),
+                "nodes": int(args.nodes),
+            },
+        )
+    except CheckpointMismatch as exc:
+        raise CLIError(str(exc)) from exc
+    if result.resumed:
+        print(
+            f"resumed: {len(result.replayed_partitions)} partitions "
+            f"replayed from the journal, "
+            f"{len(result.executed_partitions)} re-executed",
+            file=sys.stderr,
+        )
+    _write_report(_checkpoint_report(result, params), args.output)
+    return 0
+
+
+def _detect_checkpointed(args: argparse.Namespace) -> int:
+    return _run_checkpointed_cli(args, args.checkpoint_dir)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Finish an interrupted ``detect --checkpoint-dir`` run."""
+    from .recovery import SnapshotError, read_manifest
+
+    code = _enforce_runtime_flags(args)
+    if code:
+        return code
+    try:
+        manifest = read_manifest(args.checkpoint_dir)
+    except SnapshotError as exc:
+        raise CLIError(
+            f"no resumable checkpoint: {exc}; run "
+            "'repro detect --checkpoint-dir' first"
+        ) from exc
+    config = manifest["config"]
+    extra = manifest.get("extra") or {}
+    if "input" not in extra:
+        raise CLIError(
+            f"{args.checkpoint_dir}: manifest has no input path "
+            "(checkpoint written by the library API, not the CLI); "
+            "re-run via run_checkpointed() with the original dataset"
+        )
+    ns = argparse.Namespace(**vars(args))
+    ns.input = extra["input"]
+    ns.with_ids = bool(extra.get("with_ids", False))
+    ns.nodes = int(extra.get("nodes", 4))
+    ns.r = float(config["r"])
+    ns.k = int(config["k"])
+    ns.strategy = config["strategy"]
+    ns.detector = config["detector"]
+    ns.seed = int(config["seed"])
+    ns.quarantine_out = None
+    return _run_checkpointed_cli(ns, args.checkpoint_dir)
 
 
 def _streaming_detector(args, params, cluster):
@@ -231,11 +388,16 @@ def _detect_append(args: argparse.Namespace) -> int:
     detector = _streaming_detector(args, params, cluster)
     batches = [_batch_summary(detector.ingest(dataset))]
     for path in args.append:
-        batch = _load_dataset(path, args.with_ids)
-        if args.with_ids:
-            report = detector.ingest(batch)
-        else:
-            report = detector.ingest_points(batch.points)
+        batch = _load_dataset(path, args.with_ids, args.quarantine_out)
+        try:
+            if args.with_ids:
+                report = detector.ingest(batch)
+            else:
+                report = detector.ingest_points(batch.points)
+        except ValueError as exc:
+            # Dimension mismatches and id reuse between the prior state
+            # and the appended batch arrive as ValueError.
+            raise CLIError(f"cannot append {path}: {exc}") from exc
         batches.append(_batch_summary(report))
         print(
             f"appended {path}: +{report.n_points} points, "
@@ -254,10 +416,32 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
-    dataset = _load_dataset(args.input, args.with_ids)
+    dataset = _load_dataset(
+        args.input, args.with_ids, args.quarantine_out
+    )
     params = OutlierParams(r=args.r, k=args.k)
     cluster = ClusterConfig(nodes=args.nodes)
-    detector = _streaming_detector(args, params, cluster)
+    if args.snapshot:
+        from .streaming import StreamingDetector
+
+        try:
+            detector = StreamingDetector.restore(
+                args.snapshot, params,
+                strategy=args.strategy, detector=args.detector,
+                runtime=_build_runtime(args, cluster), cluster=cluster,
+                drift_threshold=args.drift_threshold, seed=args.seed,
+            )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from exc
+        if detector.n_seen:
+            print(
+                f"resumed stream from {args.snapshot}: "
+                f"{detector.n_seen} points, "
+                f"{len(detector.outlier_ids)} outliers",
+                file=sys.stderr,
+            )
+    else:
+        detector = _streaming_detector(args, params, cluster)
 
     n_initial = (
         args.initial if args.initial is not None else args.batch_size
@@ -267,8 +451,23 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     while cuts[-1] < dataset.n:
         cuts.append(min(dataset.n, cuts[-1] + args.batch_size))
     batches = []
+    offset = 0
+    if args.snapshot and detector.n_seen:
+        # Auto-numbered ids must continue the resumed stream's sequence.
+        offset = int(detector._ids.max()) + 1
     for lo, hi in zip(cuts, cuts[1:]):
-        report = detector.ingest(dataset.subset(np.arange(lo, hi)))
+        batch = dataset.subset(np.arange(lo, hi))
+        try:
+            if offset:
+                report = detector.ingest_points(batch.points)
+            else:
+                report = detector.ingest(batch)
+        except ValueError as exc:
+            raise CLIError(
+                f"cannot ingest batch into the resumed stream: {exc}"
+            ) from exc
+        if args.snapshot:
+            detector.save(args.snapshot)
         batches.append(_batch_summary(report))
         status = (
             "hit" if report.cache_hit
@@ -283,6 +482,29 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     _write_report(_stream_report(detector, params, batches), args.output)
+    return 0
+
+
+def _cmd_clean_shm(args: argparse.Namespace) -> int:
+    """Sweep stale repo-prefixed /dev/shm segments (post-SIGKILL)."""
+    from .mapreduce import clean_stale_segments, stale_segments
+
+    if args.min_age < 0:
+        raise CLIError("--min-age must be >= 0")
+    if args.dry_run:
+        victims = stale_segments(args.min_age)
+        verb = "would remove"
+    else:
+        victims = clean_stale_segments(args.min_age)
+        verb = "removed"
+    for victim in victims:
+        print(
+            f"{verb} {victim['name']} "
+            f"({victim['bytes']} bytes, "
+            f"idle {victim['age_seconds']:.0f}s)"
+        )
+    total = sum(v["bytes"] for v in victims)
+    print(f"{verb} {len(victims)} stale segments, {total} bytes")
     return 0
 
 
@@ -354,9 +576,57 @@ def _stream_bench(args: argparse.Namespace) -> int:
     return 0 if derived["identical_outliers"] else 1
 
 
+def _recovery_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        RecoveryBenchConfig,
+        run_recovery_bench,
+        save_bench,
+    )
+
+    if args.check:
+        print(
+            "error: --check compares the fixed perf matrix; it does not "
+            "apply to --recovery",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {}
+    if args.label:
+        overrides["label"] = args.label
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.base_n is not None:
+        overrides["base_n"] = args.base_n
+    if args.quick:
+        config = RecoveryBenchConfig.quick(**overrides)
+    else:
+        config = RecoveryBenchConfig(**overrides)
+
+    result = run_recovery_bench(config, log=print)
+    out_path = args.output or f"RECOVERY_{config.label}.json"
+    save_bench(result, out_path)
+    print(f"recovery bench result -> {out_path}")
+
+    derived = result["derived"]
+    print(
+        f"journal overhead {derived['journal_overhead_ratio']:.2f}x "
+        f"over a plain run; mean resume cost "
+        f"{derived['mean_resume_over_full_ratio']:.2f}x of a full run; "
+        f"identical outliers: {derived['identical_outliers']}"
+    )
+    return 0 if derived["identical_outliers"] else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import BenchConfig, check_against, run_bench, save_bench
 
+    if args.stream and args.recovery:
+        print(
+            "error: pick one of --stream / --recovery", file=sys.stderr
+        )
+        return 2
+    if args.recovery:
+        return _recovery_bench(args)
     if args.stream:
         return _stream_bench(args)
     overrides = {}
@@ -450,6 +720,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--strategy", default="DMT")
         p.add_argument("--nodes", type=int, default=4)
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--quarantine-out", metavar="CSV", default=None,
+                       help="divert rows with NaN/inf coordinates to "
+                            "this CSV and continue (default: such rows "
+                            "are an error)")
 
     def add_runtime_flags(p):
         p.add_argument("--straggler-threshold", type=float, default=2.0,
@@ -499,8 +773,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="density drift (total-variation distance) that "
                           "invalidates the cached partition plan with "
                           "--append (default 0.25)")
+    det.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                     help="journal every partition verdict to DIR; a run "
+                          "killed mid-flight is finished by 'repro "
+                          "resume DIR' (replays committed partitions, "
+                          "re-runs only the rest)")
     add_runtime_flags(det)
     det.set_defaults(func=_cmd_detect)
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted 'detect --checkpoint-dir' run: "
+             "replay journaled partitions, re-run the rest",
+    )
+    resume.add_argument("checkpoint_dir",
+                        help="checkpoint directory of the killed run")
+    resume.add_argument("-o", "--output",
+                        help="write JSON report here")
+    add_runtime_flags(resume)
+    resume.set_defaults(func=_cmd_resume)
 
     stream = sub.add_parser(
         "stream",
@@ -520,8 +811,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 0.25)")
     stream.add_argument("-o", "--output",
                         help="write the final JSON report here")
+    stream.add_argument("--snapshot", metavar="PATH", default=None,
+                        help="persist the stream state here after every "
+                             "batch; an existing snapshot is restored "
+                             "first, so a killed stream resumes where "
+                             "it stopped (corrupt snapshots fall back "
+                             "to a clean start)")
     add_runtime_flags(stream)
     stream.set_defaults(func=_cmd_stream)
+
+    clean = sub.add_parser(
+        "clean-shm",
+        help="remove orphaned shared-memory segments left in /dev/shm "
+             "by killed runs (runtime exits sweep their own)",
+    )
+    clean.add_argument("--min-age", type=float, default=60.0,
+                       help="only touch segments idle at least this "
+                            "many seconds (default 60)")
+    clean.add_argument("--dry-run", action="store_true",
+                       help="list stale segments without removing them")
+    clean.set_defaults(func=_cmd_clean_shm)
 
     trace = sub.add_parser(
         "trace", help="render a JSONL run report written by "
@@ -557,6 +866,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the streaming benchmark instead: "
                             "incremental micro-batches vs full re-runs, "
                             "emitting STREAM_<label>.json")
+    bench.add_argument("--recovery", action="store_true",
+                       help="run the recovery benchmark instead: "
+                            "journal overhead + crash/resume cost, "
+                            "emitting RECOVERY_<label>.json")
     bench.add_argument("--repeats", type=int, default=None,
                        help="runs per matrix cell; min wall is reported")
     bench.add_argument("--workers", type=int, default=None,
@@ -578,9 +891,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    global _last_quarantined
+    _last_quarantined = 0
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

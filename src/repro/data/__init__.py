@@ -1,6 +1,7 @@
 """Dataset generators (paper stand-ins) and I/O / preparation helpers."""
 
 from .io import (
+    finite_row_mask,
     load_csv,
     normalize_minmax,
     save_csv,
@@ -23,6 +24,7 @@ from .generators import (
 )
 
 __all__ = [
+    "finite_row_mask",
     "load_csv",
     "save_csv",
     "normalize_minmax",

@@ -13,6 +13,7 @@ import numpy as np
 from ..core.dataset import Dataset
 
 __all__ = [
+    "finite_row_mask",
     "load_csv",
     "save_csv",
     "normalize_minmax",
@@ -21,20 +22,47 @@ __all__ = [
 ]
 
 
+def finite_row_mask(coords: np.ndarray) -> np.ndarray:
+    """Boolean mask of rows whose coordinates are all finite.
+
+    A NaN or infinite coordinate poisons grid routing silently: NaN
+    compares false with everything, so such a point falls out of every
+    partition's rectangle and simply vanishes from the answer.  Loaders
+    therefore reject or quarantine these rows up front instead of
+    letting them corrupt detection.
+    """
+    return np.isfinite(np.asarray(coords, dtype=float)).all(axis=1)
+
+
 def load_csv(
     path: str,
     with_ids: bool = False,
     delimiter: str = ",",
     name: str | None = None,
+    invalid: str = "error",
 ) -> Dataset:
     """Load a point-per-line CSV.
 
     With ``with_ids`` the first column is taken as the integer point id;
-    otherwise ids are assigned ``0..n-1``.
+    otherwise ids are assigned ``0..n-1``.  Rows with NaN/inf
+    coordinates are rejected (``invalid="error"``, the default) or
+    silently dropped (``invalid="drop"``).
     """
+    if invalid not in ("error", "drop"):
+        raise ValueError("invalid must be 'error' or 'drop'")
     raw = np.loadtxt(path, delimiter=delimiter, ndmin=2)
     if raw.shape[1] < (2 if with_ids else 1):
         raise ValueError(f"{path}: not enough columns")
+    mask = finite_row_mask(raw[:, 1:] if with_ids else raw)
+    if not mask.all():
+        if invalid == "error":
+            raise ValueError(
+                f"{path}: {int((~mask).sum())} rows have NaN/inf "
+                "coordinates (load with invalid='drop' to discard them)"
+            )
+        raw = raw[mask]
+    if raw.shape[0] == 0:
+        raise ValueError(f"{path}: no usable rows")
     if with_ids:
         return Dataset(
             raw[:, 1:], raw[:, 0].astype(np.int64), name or path

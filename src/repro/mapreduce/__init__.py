@@ -11,6 +11,7 @@ from .failures import (
     ScriptedFailures,
     SimulatedTaskFailure,
     SlowTasks,
+    WorkerKill,
 )
 from .hdfs import Block, HDFSFile, SimulatedHDFS
 from .job import (
@@ -31,8 +32,11 @@ from .shm import (
     ShmArena,
     ShmTransport,
     Transport,
+    clean_stale_segments,
+    install_exit_cleanup,
     live_segments,
     make_transport,
+    stale_segments,
 )
 
 __all__ = [
@@ -46,6 +50,7 @@ __all__ = [
     "SimulatedTaskFailure",
     "SlowTasks",
     "HangingTasks",
+    "WorkerKill",
     "CompositeInjector",
     "SPECULATIVE_ATTEMPT_BASE",
     "SchedulerConfig",
@@ -72,4 +77,7 @@ __all__ = [
     "ShmArena",
     "make_transport",
     "live_segments",
+    "install_exit_cleanup",
+    "stale_segments",
+    "clean_stale_segments",
 ]

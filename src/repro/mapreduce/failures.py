@@ -6,7 +6,7 @@ their input split.  The runtime reproduces that contract — task outputs
 commit only on success, failed attempts are retried up to a bound — and
 this module provides the injectors that make the behavior testable.
 
-Two fault channels exist:
+Three fault channels exist:
 
 * **crashes** (:meth:`FailureInjector.should_fail`) — the attempt raises
   :class:`SimulatedTaskFailure` before running any user code;
@@ -14,7 +14,15 @@ Two fault channels exist:
   the returned number of seconds before running user code.  This is how
   stragglers and hangs are simulated; combined with the scheduler's
   per-attempt timeout (:mod:`repro.mapreduce.scheduler`) it makes
-  straggler mitigation as testable as crash recovery.
+  straggler mitigation as testable as crash recovery;
+* **process kills** (:meth:`FailureInjector.should_kill`) — the worker
+  process SIGKILLs *itself* before running user code: no exception, no
+  cleanup, the pool just loses a process, exactly like a preempted or
+  OOM-killed node.  Only meaningful under
+  :class:`~repro.mapreduce.parallel.ParallelRuntime`, whose dispatcher
+  detects the broken pool, respawns it, and resubmits the lost tasks;
+  the scheduler refuses the channel in a serial (driver-process)
+  attempt.
 
 Latency injectors treat a *speculative* duplicate attempt (attempt index
 ``>= SPECULATIVE_ATTEMPT_BASE``) as running on a healthy node: by
@@ -38,6 +46,7 @@ __all__ = [
     "ScriptedFailures",
     "SlowTasks",
     "HangingTasks",
+    "WorkerKill",
     "CompositeInjector",
     "SPECULATIVE_ATTEMPT_BASE",
 ]
@@ -68,6 +77,15 @@ class FailureInjector:
         rejects).
         """
         return 0.0
+
+    def should_kill(self, phase: str, task_id: int, attempt: int) -> bool:
+        """Whether the worker process should SIGKILL itself.
+
+        The hardest fault the runtime models: the process disappears
+        without raising, so commit-on-success is enforced by the
+        operating system rather than by exception handling.
+        """
+        return False
 
 
 @dataclass
@@ -144,6 +162,28 @@ class HangingTasks(FailureInjector):
         return 0.0
 
 
+@dataclass
+class WorkerKill(FailureInjector):
+    """SIGKILL the worker for specific attempts of specific tasks.
+
+    ``plan`` maps ``(phase, task_id)`` to how many dispatches of that
+    task should die before one survives — the process-kill analogue of
+    :class:`ScriptedFailures`.  Because the process is destroyed, the
+    retry cannot happen inside the worker's own attempt loop: the
+    dispatcher respawns the pool and resubmits with a bumped
+    ``attempt_base``, which is what keeps the attempt index rising
+    across dispatches and eventually lets the task through.  Speculative
+    duplicates are spared (they model a healthy node).
+    """
+
+    plan: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+    def should_kill(self, phase: str, task_id: int, attempt: int) -> bool:
+        if attempt >= SPECULATIVE_ATTEMPT_BASE:
+            return False
+        return attempt < self.plan.get((phase, task_id), 0)
+
+
 class CompositeInjector(FailureInjector):
     """Combine injectors: crash if *any* says fail; delays add up.
 
@@ -164,4 +204,10 @@ class CompositeInjector(FailureInjector):
     def delay(self, phase: str, task_id: int, attempt: int) -> float:
         return sum(
             inj.delay(phase, task_id, attempt) for inj in self.injectors
+        )
+
+    def should_kill(self, phase: str, task_id: int, attempt: int) -> bool:
+        return any(
+            inj.should_kill(phase, task_id, attempt)
+            for inj in self.injectors
         )

@@ -40,6 +40,7 @@ import statistics
 import time
 from collections import defaultdict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Sequence
 
 from ..observability.tracing import Span
@@ -54,12 +55,45 @@ from .runtime import (
     _empty_reduce_output,
 )
 from .scheduler import SPECULATIVE_ATTEMPT_BASE
-from .shm import TRANSPORTS, make_transport, open_envelope
+from .shm import (
+    TRANSPORTS,
+    install_exit_cleanup,
+    make_transport,
+    open_envelope,
+)
 
 __all__ = ["ParallelRuntime"]
 
 #: Seconds between speculation checks while a phase has tasks in flight.
 _POLL_SECONDS = 0.02
+
+
+class _PoolBox:
+    """A replaceable process pool.
+
+    A SIGKILLed worker breaks the *entire* ``ProcessPoolExecutor`` — every
+    in-flight future raises :class:`BrokenProcessPool` and the executor
+    refuses further submissions.  Wrapping the pool lets the phase loop
+    swap in a fresh executor (``respawn``) without rebinding names across
+    the dispatch bookkeeping.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self.pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(self, fn, arg):
+        return self.pool.submit(fn, arg)
+
+    def respawn(self) -> None:
+        self.pool.shutdown(wait=False, cancel_futures=True)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def __enter__(self) -> "_PoolBox":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.pool.shutdown(wait=True)
 
 
 def _run_map_task(args):
@@ -68,24 +102,28 @@ def _run_map_task(args):
     The task span rides back with the result — spans are plain dataclass
     trees of builtins and use epoch timestamps, so they pickle cleanly
     and stay comparable with spans built in the parent process.
+    ``attempt_base`` is nonzero only when the dispatcher resubmits a task
+    whose previous worker died; it keeps attempt numbering monotonic
+    across pool respawns.
     """
-    envelope, speculative = args
+    envelope, speculative, attempt_base = args
     runtime, job, task_id, block = open_envelope(envelope)
     ctx, pairs, wall, span = runtime._run_attempts(
         "map", task_id,
         lambda ctx: runtime._map_attempt(job, block, ctx),
-        empty=list, speculative=speculative,
+        empty=list, speculative=speculative, attempt_base=attempt_base,
     )
     return task_id, pairs, wall, ctx.cost_units, ctx.counters, span
 
 
 def _run_reduce_task(args):
-    envelope, speculative = args
+    envelope, speculative, attempt_base = args
     runtime, job, reducer_id, groups = open_envelope(envelope)
     ctx, (outputs, n_in), wall, span = runtime._run_attempts(
         "reduce", reducer_id,
         lambda ctx: runtime._reduce_attempt(job, groups, ctx),
         empty=_empty_reduce_output, speculative=speculative,
+        attempt_base=attempt_base,
     )
     return (reducer_id, outputs, n_in, wall, ctx.cost_units,
             ctx.counters, span)
@@ -116,6 +154,11 @@ class ParallelRuntime(LocalRuntime):
         self.workers = workers
         self.transport = transport
         self.transport_label = transport
+        # A killed driver never reaches the transports' unlink-in-finally
+        # path; the atexit/SIGTERM sweep is the backstop that keeps
+        # /dev/shm clean for every survivable exit (`repro clean-shm`
+        # handles the SIGKILL case, which no in-process hook survives).
+        install_exit_cleanup()
         # Dispatch accounting summed over every job this runtime ran —
         # pipelines discard intermediate JobResults (e.g. the planning
         # job's), so per-job stats alone undercount a run's dispatches.
@@ -147,7 +190,7 @@ class ParallelRuntime(LocalRuntime):
         transport.open_job(worker_rt, job)
 
         try:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            with _PoolBox(self.workers) as pool:
                 t0 = time.perf_counter()
                 map_span = job_span.child(
                     "map", "phase", n_tasks=len(blocks)
@@ -160,6 +203,7 @@ class ParallelRuntime(LocalRuntime):
                 )
                 map_results = self._run_phase(
                     pool, _run_map_task, envelopes, result.counters,
+                    "map", map_span,
                 )
                 for task_id, pairs, wall, cost_units, counters, span in (
                     map_results
@@ -208,6 +252,7 @@ class ParallelRuntime(LocalRuntime):
                 )
                 reduce_results = self._run_phase(
                     pool, _run_reduce_task, envelopes, result.counters,
+                    "reduce", reduce_span,
                 )
                 for (rid, outputs, n_in, wall, cost_units, counters,
                      span) in reduce_results:
@@ -258,13 +303,19 @@ class ParallelRuntime(LocalRuntime):
         return self._commit_trace(result, job_span)
 
     # ------------------------------------------------------------------
-    def _run_phase(self, pool, fn, payloads, counters):
+    def _run_phase(self, pool, fn, payloads, counters, phase, phase_span):
         """Dispatch one phase's tasks, speculating on stragglers.
 
         ``payloads`` maps ``task_id`` to the transport envelope for that
         task.  Returns the worker result tuples sorted by task id —
         exactly one committed result per task, whichever attempt
         (primary or speculative duplicate) finished first.
+
+        A dead worker (SIGKILL, OOM) breaks the whole pool: every live
+        future raises :class:`BrokenProcessPool`.  The loop respawns the
+        pool and resubmits the lost tasks with a bumped ``attempt_base``
+        under the scheduler's backoff policy, failing a task only after
+        ``max_attempts`` dispatches have died under it.
         """
         cfg = self.scheduler
         futures = {}          # future -> (task_id, is_speculative)
@@ -275,20 +326,32 @@ class ParallelRuntime(LocalRuntime):
         submit_time = {}
         durations: List[float] = []
         committed = {}        # task_id -> worker result tuple
+        resubmits = defaultdict(int)  # task_id -> pool-death re-dispatches
 
         for tid, envelope in payloads.items():
-            fut = pool.submit(fn, (envelope, False))
+            try:
+                fut = pool.submit(fn, (envelope, False, 0))
+            except BrokenProcessPool:
+                # A worker died while dispatch was still in flight; the
+                # completion loop below respawns and re-dispatches
+                # everything uncommitted, this task included.
+                break
             futures[fut] = (tid, False)
             primary[tid] = fut
             live.add(fut)
             submit_time[tid] = time.perf_counter()
 
         while len(committed) < len(payloads):
-            if not live:  # pragma: no cover - defensive
-                raise RuntimeError("phase stalled: no live attempts")
-            done, _ = wait(
-                live, timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
-            )
+            # No live attempts with work outstanding means the pool
+            # broke before (or while) dispatching — same respawn path
+            # as a death observed through a future.
+            broken = not live
+            done = ()
+            if live:
+                done, _ = wait(
+                    live, timeout=_POLL_SECONDS,
+                    return_when=FIRST_COMPLETED,
+                )
             for fut in done:
                 live.discard(fut)
                 tid, is_spec = futures[fut]
@@ -296,6 +359,12 @@ class ParallelRuntime(LocalRuntime):
                     continue  # the cancelled loser finishing late
                 try:
                     out = fut.result()
+                except BrokenProcessPool:
+                    # Not this task's failure: the pool died under it.
+                    # Every sibling future is equally dead; respawn once
+                    # after draining the done set.
+                    broken = True
+                    continue
                 except Exception as exc:
                     # The rival attempt (if any) may still commit this
                     # task; the job only fails once every attempt of a
@@ -303,11 +372,19 @@ class ParallelRuntime(LocalRuntime):
                     failed.setdefault(tid, exc)
                     continue
                 committed[tid] = out
+                if phase == "reduce" and self.commit_listener is not None:
+                    self.commit_listener(phase, tid, out[1])
                 durations.append(
                     time.perf_counter() - submit_time[tid]
                 )
                 self._record_outcome(
                     tid, is_spec, out[-1], primary, duplicates, counters
+                )
+            if broken:
+                self._respawn(
+                    pool, fn, payloads, cfg, futures, live, primary,
+                    duplicates, submit_time, resubmits, committed,
+                    failed, counters, phase, phase_span,
                 )
             for tid, exc in failed.items():
                 if tid not in committed and not (
@@ -323,6 +400,58 @@ class ParallelRuntime(LocalRuntime):
                     failed, committed, submit_time, durations, counters,
                 )
         return sorted(committed.values(), key=lambda item: item[0])
+
+    # ------------------------------------------------------------------
+    def _respawn(self, pool, fn, payloads, cfg, futures, live, primary,
+                 duplicates, submit_time, resubmits, committed, failed,
+                 counters, phase, phase_span):
+        """Replace a broken pool and resubmit its uncommitted tasks.
+
+        Tasks already in ``failed`` exhausted their own attempts before
+        the pool broke; they are left to the failure policy rather than
+        granted a fresh lease by someone else's death.
+        """
+        counters.incr("recovery", "worker_deaths")
+        pool.respawn()
+        live.clear()
+        duplicates.clear()
+        lost = sorted(
+            tid for tid in payloads
+            if tid not in committed and tid not in failed
+        )
+        phase_span.child(
+            "worker_death", "event", phase=phase, lost_tasks=lost,
+        ).finish()
+        delay = 0.0
+        for tid in lost:
+            resubmits[tid] += 1
+            if resubmits[tid] >= cfg.max_attempts:
+                raise BrokenProcessPool(
+                    f"{phase} task {tid}: worker died under all "
+                    f"{cfg.max_attempts} dispatches"
+                )
+            delay = max(
+                delay, cfg.backoff_delay(phase, tid, resubmits[tid])
+            )
+        # One backoff pause per respawn (the deaths were correlated —
+        # it was one pool), sized by the slowest task's schedule.
+        if delay > 0:
+            time.sleep(delay)
+        for tid in lost:
+            try:
+                fut = pool.submit(
+                    fn, (payloads[tid], False, resubmits[tid])
+                )
+            except BrokenProcessPool:
+                # The replacement pool broke already (another instant
+                # kill); the completion loop respawns once more, with
+                # this cycle's resubmit counts still charged.
+                break
+            futures[fut] = (tid, False)
+            primary[tid] = fut
+            live.add(fut)
+            submit_time[tid] = time.perf_counter()
+            counters.incr("recovery", "tasks_resubmitted")
 
     @staticmethod
     def _record_outcome(tid, is_spec, span, primary, duplicates, counters):
@@ -372,7 +501,12 @@ class ParallelRuntime(LocalRuntime):
                 # Speculative duplicates reuse the encoded envelope —
                 # with the shm transport that is a descriptor, not a
                 # re-pickled partition.
-                fut = pool.submit(fn, (payloads[tid], True))
+                try:
+                    fut = pool.submit(fn, (payloads[tid], True, 0))
+                except BrokenProcessPool:
+                    # The pool died since the last poll; the wait loop
+                    # will notice and respawn — don't speculate into it.
+                    return
                 futures[fut] = (tid, True)
                 duplicates[tid] = fut
                 live.add(fut)

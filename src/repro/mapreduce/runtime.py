@@ -151,6 +151,10 @@ class LocalRuntime:
         # ParallelRuntime overrides this with its transport choice so
         # task spans record how their payload actually travelled.
         self.transport_label = "inline"
+        #: Optional ``(phase, task_id, outputs)`` hook fired the moment a
+        #: task's outputs commit — the recovery layer journals partition
+        #: verdicts from it.  Driver-side only; never crosses a pipe.
+        self.commit_listener = None
 
     # ------------------------------------------------------------------
     def run(
@@ -226,6 +230,8 @@ class LocalRuntime:
                 empty=_empty_reduce_output,
             )
             result.outputs.extend(outputs)
+            if self.commit_listener is not None:
+                self.commit_listener("reduce", reducer_id, outputs)
             result.reduce_tasks.append(
                 TaskStats(reducer_id, "reduce", wall, ctx.cost_units,
                           n_in, len(outputs))
@@ -266,7 +272,8 @@ class LocalRuntime:
         return result
 
     def _run_attempts(self, phase: str, task_id: int, body,
-                      empty=None, speculative: bool = False):
+                      empty=None, speculative: bool = False,
+                      attempt_base: int = 0):
         """Execute a task under the scheduler; commit only on success.
 
         Failed attempts are recorded on the *successful* attempt's context
@@ -279,7 +286,7 @@ class LocalRuntime:
         """
         return TaskScheduler(self.scheduler, self.failure_injector).run_task(
             phase, task_id, body, empty=empty, speculative=speculative,
-            transport=self.transport_label,
+            transport=self.transport_label, attempt_base=attempt_base,
         )
 
     def _map_attempt(self, job: MapReduceJob, block, ctx: TaskContext):

@@ -175,6 +175,7 @@ class TaskScheduler:
         empty: Optional[Callable[[], object]] = None,
         speculative: bool = False,
         transport: Optional[str] = None,
+        attempt_base: int = 0,
     ) -> Tuple[TaskContext, object, float, Span]:
         """Run ``body`` with retry/timeout/backoff; commit only on success.
 
@@ -187,10 +188,31 @@ class TaskScheduler:
         numbered from :data:`SPECULATIVE_ATTEMPT_BASE` so injectors can
         model it running on a healthy node.  ``transport`` annotates the
         task span with how the payload reached this process ("inline",
-        "pickle", or "shm").
+        "pickle", or "shm").  ``attempt_base`` offsets attempt numbering
+        for re-dispatches that already consumed attempts elsewhere — the
+        parallel runtime uses it when it resubmits a task lost to a dead
+        worker, so injectors see one monotonic attempt sequence instead
+        of a task whose history resets with each respawned pool.
         """
         cfg = self.config
-        base = SPECULATIVE_ATTEMPT_BASE if speculative else 0
+        base = SPECULATIVE_ATTEMPT_BASE if speculative else attempt_base
+        injector = self.failure_injector
+        if injector is not None and any(
+            injector.should_kill(phase, task_id, base + retry)
+            for retry in range(cfg.max_attempts)
+        ):
+            import multiprocessing
+
+            if multiprocessing.parent_process() is None:
+                # A kill injector only makes sense under a process pool:
+                # in a serial runtime it would SIGKILL the driver (and
+                # the test suite).  Refuse up front — inside the retry
+                # loop the refusal would just be retried away.
+                raise RuntimeError(
+                    f"{phase} task {task_id}: WorkerKill injected but "
+                    "this attempt runs in the driver process; use "
+                    "ParallelRuntime for kill-based chaos"
+                )
         task_span = Span.begin(
             f"{phase}[{task_id}]", "task", phase=phase, task_id=task_id
         )
@@ -270,6 +292,25 @@ class TaskScheduler:
         ctx: TaskContext,
     ):
         injector = self.failure_injector
+        if injector is not None and injector.should_kill(
+            phase, task_id, attempt
+        ):
+            import multiprocessing
+            import os
+            import signal
+
+            if multiprocessing.parent_process() is None:
+                # A kill injector only makes sense under a process pool:
+                # in a serial runtime it would SIGKILL the driver (and
+                # the test suite).  Refuse loudly instead.
+                raise RuntimeError(
+                    f"{phase} task {task_id}: WorkerKill injected but "
+                    "this attempt runs in the driver process; use "
+                    "ParallelRuntime for kill-based chaos"
+                )
+            # Die the way a real preempted/OOM-killed worker dies: no
+            # exception, no cleanup, the pool just loses the process.
+            os.kill(os.getpid(), signal.SIGKILL)
         if injector is not None and injector.should_fail(
             phase, task_id, attempt
         ):

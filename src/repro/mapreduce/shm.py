@@ -78,6 +78,9 @@ __all__ = [
     "make_transport",
     "live_segments",
     "close_attachments",
+    "install_exit_cleanup",
+    "stale_segments",
+    "clean_stale_segments",
 ]
 
 #: Transport names accepted by ``ParallelRuntime(transport=...)``.
@@ -227,6 +230,119 @@ _LIVE_SEGMENTS: set[str] = set()
 def live_segments() -> frozenset[str]:
     """Segments this process created and has not unlinked yet."""
     return frozenset(_LIVE_SEGMENTS)
+
+
+# ----------------------------------------------------------------------
+# Orphan protection
+# ----------------------------------------------------------------------
+#: Where POSIX shared memory is a filesystem (Linux).  The stale-segment
+#: sweep is a no-op elsewhere; in-process cleanup works everywhere.
+_SHM_DIR = "/dev/shm"
+
+_exit_cleanup_installed = False
+
+
+def _cleanup_live_segments() -> None:
+    """Unlink every segment this process still owns (idempotent)."""
+    for name in list(_LIVE_SEGMENTS):
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        _LIVE_SEGMENTS.discard(name)
+
+
+def install_exit_cleanup() -> None:
+    """Make sure a dying driver unlinks its segments.
+
+    The transports already unlink in ``finally``, which covers normal
+    returns and handled exceptions.  This adds the two survivable abnormal
+    exits: interpreter shutdown with segments still live (``atexit``) and
+    SIGTERM (handler chains to whatever was installed before).  SIGKILL is
+    unsurvivable by definition — ``repro clean-shm`` sweeps up after it.
+
+    Idempotent; called from ``ParallelRuntime.__init__`` so any process
+    that can create segments has the hooks.  Installed only in the main
+    thread (signal handlers cannot be set elsewhere).
+    """
+    global _exit_cleanup_installed
+    if _exit_cleanup_installed:
+        return
+    import atexit
+    import signal
+    import threading
+
+    atexit.register(_cleanup_live_segments)
+    if threading.current_thread() is threading.main_thread():
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _on_sigterm(signum, frame):
+            _cleanup_live_segments()
+            if callable(previous):
+                previous(signum, frame)
+            else:
+                signal.signal(signal.SIGTERM, signal.SIG_DFL)
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        try:
+            signal.signal(signal.SIGTERM, _on_sigterm)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            pass
+    _exit_cleanup_installed = True
+
+
+def stale_segments(min_age_seconds: float = 60.0) -> List[Dict[str, Any]]:
+    """Repo-prefixed ``/dev/shm`` segments no live run should still own.
+
+    A segment is a candidate when its name carries :data:`SEGMENT_PREFIX`,
+    it is not one of *this* process's live segments, and it has not been
+    modified for ``min_age_seconds`` (so a concurrently running job's
+    fresh segments are left alone).  Returns dicts with ``name``,
+    ``bytes`` and ``age_seconds``, oldest first.
+    """
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    own = live_segments()
+    now = time.time()
+    found: List[Dict[str, Any]] = []
+    for entry in os.listdir(_SHM_DIR):
+        if not entry.startswith(SEGMENT_PREFIX + "-"):
+            continue
+        if entry in own:
+            continue
+        path = os.path.join(_SHM_DIR, entry)
+        try:
+            stat = os.stat(path)
+        except OSError:
+            continue  # raced with another sweep
+        age = now - stat.st_mtime
+        if age < min_age_seconds:
+            continue
+        found.append(
+            {"name": entry, "bytes": stat.st_size, "age_seconds": age}
+        )
+    found.sort(key=lambda item: -item["age_seconds"])
+    return found
+
+
+def clean_stale_segments(
+    min_age_seconds: float = 60.0, dry_run: bool = False
+) -> List[Dict[str, Any]]:
+    """Unlink stale repo-prefixed segments; return what was (or would
+    be) removed.  The recovery tool behind ``repro clean-shm``."""
+    victims = stale_segments(min_age_seconds)
+    if dry_run:
+        return victims
+    removed: List[Dict[str, Any]] = []
+    for victim in victims:
+        try:
+            os.unlink(os.path.join(_SHM_DIR, victim["name"]))
+        except OSError:
+            continue  # raced with the owner or another sweep
+        removed.append(victim)
+    return removed
 
 
 class ShmArena:

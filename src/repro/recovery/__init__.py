@@ -1,0 +1,57 @@
+"""Durable checkpoint/recovery layer: crash-safe detection runs.
+
+Three pieces, one contract — a killed process never costs correctness,
+only the uncommitted fraction of the work:
+
+* :mod:`~repro.recovery.snapshot` — checksummed, versioned, atomically
+  written artifacts (the envelope under snapshots and manifests);
+* :mod:`~repro.recovery.journal` — the append-only fsynced WAL of
+  per-partition verdicts;
+* :mod:`~repro.recovery.checkpoint` — :func:`run_checkpointed`, the
+  resumable twin of :func:`repro.core.detect_outliers`.
+
+Streaming snapshots (:meth:`repro.streaming.StreamingDetector.save`)
+build on the same artifact envelope.
+"""
+
+from .checkpoint import (
+    JOURNAL_FILE,
+    MANIFEST_FILE,
+    CheckpointedResult,
+    CheckpointMismatch,
+    dataset_fingerprint,
+    read_manifest,
+    run_checkpointed,
+)
+from .journal import (
+    CHAOS_KILL_ENV,
+    JournalCorrupt,
+    ResultJournal,
+    SimulatedCrash,
+)
+from .snapshot import (
+    SnapshotError,
+    canonical_bytes,
+    payload_crc32,
+    read_artifact,
+    write_artifact,
+)
+
+__all__ = [
+    "CHAOS_KILL_ENV",
+    "JOURNAL_FILE",
+    "MANIFEST_FILE",
+    "CheckpointMismatch",
+    "CheckpointedResult",
+    "JournalCorrupt",
+    "ResultJournal",
+    "SimulatedCrash",
+    "SnapshotError",
+    "canonical_bytes",
+    "dataset_fingerprint",
+    "payload_crc32",
+    "read_artifact",
+    "read_manifest",
+    "run_checkpointed",
+    "write_artifact",
+]

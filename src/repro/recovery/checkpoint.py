@@ -1,0 +1,446 @@
+"""Crash-safe detection: plan once, journal every partition verdict.
+
+:func:`run_checkpointed` is the durable twin of
+:func:`repro.core.detect_outliers`.  It persists two artifacts in a
+checkpoint directory:
+
+* ``manifest.json`` — the run's identity (dataset fingerprint, params,
+  strategy, seed, sizing) plus the serialized partition plan, written
+  atomically before any detection work starts;
+* ``journal.jsonl`` — the per-partition result WAL
+  (:class:`~repro.recovery.journal.ResultJournal`): as each reduce task
+  lands in the driver, the verdict of every partition that task owned is
+  fsynced to the journal.
+
+A driver killed at any point can be resumed by calling
+:func:`run_checkpointed` again with the same inputs (or ``repro
+resume``): the manifest revalidates the run identity, committed
+partitions are *replayed* from the journal, and only the uncommitted
+rest is re-executed — the final outlier set is byte-identical to an
+uninterrupted run, because partition verdicts are exact and independent
+(Lemma 3.1).
+
+Degradation is always toward recomputation, never toward wrong output:
+a corrupt manifest or journal (checksum mismatch) is discarded with a
+warning span and a ``recovery`` counter, and the run falls back to a
+full re-run.  A manifest that is *valid but describes a different run*
+(other dataset, params, or sizing) raises — silently clobbering someone
+else's checkpoint is not a recovery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import warnings
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..allocation import allocate
+from ..core.dataset import Dataset
+from ..core.pipeline import resolve_strategy
+from ..mapreduce import (
+    ClusterConfig,
+    Counters,
+    DictPartitioner,
+    LocalRuntime,
+    MapReduceJob,
+)
+from ..observability import Span, Tracer
+from ..params import OutlierParams
+from ..partitioning import PlanRequest, plan_from_dict, plan_to_dict
+# The routed-records job shape is shared with the streaming subsystem:
+# records arrive pre-assigned to partitions and verdicts come back
+# tagged ``(pid, outlier_id)``.
+from ..streaming.detector import _RoutedMapper, _StreamDODReducer
+from .journal import JournalCorrupt, ResultJournal
+from .snapshot import SnapshotError, read_artifact, write_artifact
+
+__all__ = [
+    "MANIFEST_FILE",
+    "JOURNAL_FILE",
+    "CheckpointMismatch",
+    "CheckpointedResult",
+    "dataset_fingerprint",
+    "read_manifest",
+    "run_checkpointed",
+]
+
+MANIFEST_FILE = "manifest.json"
+JOURNAL_FILE = "journal.jsonl"
+_MANIFEST_KIND = "checkpoint-manifest"
+_MANIFEST_VERSION = 1
+
+
+class CheckpointMismatch(ValueError):
+    """The checkpoint directory belongs to a different run."""
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Content hash binding a checkpoint to its exact input."""
+    digest = hashlib.sha256()
+    digest.update(str(dataset.points.shape).encode())
+    digest.update(np.ascontiguousarray(dataset.ids).tobytes())
+    digest.update(np.ascontiguousarray(dataset.points).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CheckpointedResult:
+    """What a checkpointed (possibly resumed) detection produced."""
+
+    outlier_ids: Set[int]
+    outliers_by_pid: Dict[int, Set[int]]
+    replayed_partitions: List[int]
+    executed_partitions: List[int]
+    resumed: bool
+    counters: Counters
+    plan: object = None
+    jobs: List = field(default_factory=list)
+    trace: Optional[Span] = None
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.replayed_partitions) + len(
+            self.executed_partitions
+        )
+
+
+def read_manifest(checkpoint_dir: str) -> dict:
+    """Read a checkpoint manifest (raises :class:`SnapshotError`)."""
+    return read_artifact(
+        os.path.join(checkpoint_dir, MANIFEST_FILE),
+        _MANIFEST_KIND,
+        _MANIFEST_VERSION,
+    )
+
+
+def run_checkpointed(
+    dataset: Dataset,
+    params: OutlierParams,
+    checkpoint_dir: str,
+    strategy="DMT",
+    detector: str = "nested_loop",
+    runtime: Optional[LocalRuntime] = None,
+    cluster: Optional[ClusterConfig] = None,
+    n_partitions: Optional[int] = None,
+    n_reducers: Optional[int] = None,
+    seed: int = 1,
+    tracer: Optional[Tracer] = None,
+    abort_after_commits: Optional[int] = None,
+    manifest_extra: Optional[dict] = None,
+) -> CheckpointedResult:
+    """Detect outliers with durable per-partition commits.
+
+    Safe to call repeatedly with the same inputs and directory: each
+    call replays every journaled partition and executes only the rest.
+    ``abort_after_commits`` is the in-process chaos hook — the journal
+    raises :class:`~repro.recovery.journal.SimulatedCrash` after that
+    many commits (see the module for the SIGKILL environment hook).
+    ``manifest_extra`` is stored verbatim in the manifest for tooling
+    (the CLI keeps the input path there so ``repro resume`` can reload
+    it); it does not participate in run-identity validation.
+    """
+    strategy = resolve_strategy(strategy)
+    cluster = cluster or ClusterConfig()
+    runtime = runtime or LocalRuntime(cluster)
+    tracer = tracer or runtime.tracer or Tracer()
+    if n_reducers is None:
+        n_reducers = min(cluster.reduce_slots, 64)
+    if n_partitions is None:
+        n_partitions = 2 * n_reducers
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    journal_path = os.path.join(checkpoint_dir, JOURNAL_FILE)
+
+    config = {
+        "fingerprint": dataset_fingerprint(dataset),
+        "r": float(params.r),
+        "k": int(params.k),
+        "strategy": strategy.name,
+        "detector": detector,
+        "seed": int(seed),
+        "n_partitions": int(n_partitions),
+        "n_reducers": int(n_reducers),
+    }
+    counters = Counters()
+
+    prev_tracer = runtime.tracer
+    runtime.tracer = tracer
+    try:
+        with tracer.span(
+            "checkpointed_run", "run",
+            checkpoint_dir=checkpoint_dir,
+            r=params.r, k=params.k, n_points=dataset.n,
+        ) as run_span:
+            result = _run(
+                dataset, params, checkpoint_dir, journal_path, strategy,
+                detector, runtime, n_reducers, n_partitions, seed,
+                config, counters, run_span, abort_after_commits,
+                manifest_extra,
+            )
+            run_span.annotate(
+                resumed=result.resumed,
+                partitions_replayed=len(result.replayed_partitions),
+                partitions_executed=len(result.executed_partitions),
+                n_outliers=len(result.outlier_ids),
+            )
+    finally:
+        runtime.tracer = prev_tracer
+    result.trace = run_span
+    return result
+
+
+# ----------------------------------------------------------------------
+def _run(
+    dataset, params, checkpoint_dir, journal_path, strategy, detector,
+    runtime, n_reducers, n_partitions, seed, config, counters, run_span,
+    abort_after_commits, manifest_extra,
+):
+    plan, resumed = _load_or_build_plan(
+        dataset, params, checkpoint_dir, journal_path, strategy,
+        runtime, n_reducers, n_partitions, seed, config, counters,
+        run_span, manifest_extra,
+    )
+
+    committed = _replay_journal(
+        journal_path, plan, counters, run_span
+    ) if resumed else {}
+
+    # Route every record once (the map side's work, paid up front so
+    # replayed partitions never touch their points again).
+    core, pairs = plan.assign_batch(dataset.points, params.r)
+    partition_records: Dict[int, List[tuple]] = {}
+    ids = dataset.ids
+    tuples = [tuple(map(float, p)) for p in dataset.points]
+    for i in range(dataset.n):
+        partition_records.setdefault(int(core[i]), []).append(
+            (0, int(ids[i]), tuples[i])
+        )
+    for row, pid in pairs:
+        partition_records.setdefault(int(pid), []).append(
+            (1, int(ids[row]), tuples[row])
+        )
+
+    all_pids = [p.pid for p in plan.partitions]
+    pending = [pid for pid in all_pids if pid not in committed]
+    counters.incr("recovery", "partitions_total", len(all_pids))
+    counters.incr("recovery", "partitions_replayed", len(committed))
+    counters.incr("recovery", "partitions_executed", len(pending))
+
+    outliers_by_pid: Dict[int, Set[int]] = {
+        pid: set(outs) for pid, outs in committed.items()
+    }
+    jobs: List = []
+    if pending:
+        with ResultJournal.open_for_resume(
+            journal_path, abort_after_commits=abort_after_commits
+        ) as journal:
+            jobs = _detect_pending(
+                pending, partition_records, plan, params, detector,
+                runtime, n_reducers, journal, counters, run_span,
+                outliers_by_pid,
+            )
+    for job in jobs:
+        counters.merge(job.counters)
+
+    outlier_ids: Set[int] = set()
+    for outs in outliers_by_pid.values():
+        outlier_ids |= outs
+    return CheckpointedResult(
+        outlier_ids=outlier_ids,
+        outliers_by_pid=outliers_by_pid,
+        replayed_partitions=sorted(committed),
+        executed_partitions=sorted(pending),
+        resumed=resumed,
+        counters=counters,
+        plan=plan,
+        jobs=jobs,
+    )
+
+
+def _load_or_build_plan(
+    dataset, params, checkpoint_dir, journal_path, strategy, runtime,
+    n_reducers, n_partitions, seed, config, counters, run_span,
+    manifest_extra,
+):
+    """Return ``(plan, resumed)``; fresh runs write the manifest."""
+    manifest_path = os.path.join(checkpoint_dir, MANIFEST_FILE)
+    try:
+        manifest = read_artifact(
+            manifest_path, _MANIFEST_KIND, _MANIFEST_VERSION
+        )
+    except SnapshotError as exc:
+        if exc.reason != "missing":
+            counters.incr("recovery", "manifest_discarded")
+            run_span.child(
+                "manifest_fallback", "event", reason=exc.reason,
+            ).finish(warning=str(exc))
+            warnings.warn(
+                f"checkpoint manifest unusable ({exc}); starting a "
+                "fresh run",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        manifest = None
+
+    if manifest is not None:
+        if manifest.get("config") != config:
+            raise CheckpointMismatch(
+                f"{checkpoint_dir} was created by a different run "
+                "(dataset, parameters, or sizing differ); use a fresh "
+                "--checkpoint-dir or delete it"
+            )
+        return plan_from_dict(manifest["plan"]), True
+
+    # Fresh run: clear any stale journal *before* the manifest exists,
+    # so no window pairs the new manifest with old verdicts.
+    if os.path.exists(journal_path):
+        os.remove(journal_path)
+    request = PlanRequest(
+        domain=dataset.bounds,
+        params=params,
+        n_partitions=n_partitions,
+        n_reducers=n_reducers,
+        n_buckets=int(min(1024, max(64, dataset.n // 20))),
+        sample_rate=min(0.5, max(0.005, 2000 / max(dataset.n, 1))),
+        seed=seed,
+    )
+    plan = strategy.timed_plan(
+        runtime, list(dataset.records()), request
+    )
+    write_artifact(
+        os.path.join(checkpoint_dir, MANIFEST_FILE),
+        _MANIFEST_KIND,
+        _MANIFEST_VERSION,
+        {
+            "config": config,
+            "plan": plan_to_dict(plan),
+            "extra": manifest_extra or {},
+        },
+    )
+    counters.incr("recovery", "manifest_writes")
+    return plan, False
+
+
+def _replay_journal(journal_path, plan, counters, run_span):
+    """Committed ``pid -> outliers`` from the journal, or ``{}``."""
+    known = {p.pid for p in plan.partitions}
+    try:
+        records, torn = ResultJournal.replay(journal_path)
+    except JournalCorrupt as exc:
+        counters.incr("recovery", "journal_discarded")
+        run_span.child(
+            "journal_fallback", "event", reason="corrupt",
+        ).finish(warning=str(exc))
+        warnings.warn(
+            f"result journal failed validation ({exc}); re-running "
+            "every partition",
+            RuntimeWarning,
+            stacklevel=5,
+        )
+        os.remove(journal_path)
+        return {}
+    committed: Dict[int, List[int]] = {}
+    for record in records:
+        if record.get("kind") != "partition":
+            continue
+        pid = int(record["pid"])
+        if pid not in known:
+            continue
+        committed[pid] = [int(x) for x in record["outliers"]]
+    if torn:
+        counters.incr("recovery", "torn_tail_dropped")
+    counters.incr("recovery", "journal_replays")
+    span = run_span.child(
+        "journal_replay", "event",
+        partitions=sorted(committed), torn_tail=torn,
+    )
+    span.finish()
+    return committed
+
+
+def _detect_pending(
+    pending, partition_records, plan, params, detector, runtime,
+    n_reducers, journal, counters, run_span, outliers_by_pid,
+):
+    """Run the routed detection job over uncommitted partitions,
+    journaling each reduce task's partitions as the task commits."""
+    target = sorted(pending)
+    records = [
+        (pid, record)
+        for pid in target
+        for record in partition_records.get(pid, ())
+    ]
+    if not records:
+        # Only empty partitions left: their verdicts are vacuous, but
+        # each is still a durable commit (and a chaos boundary).
+        for pid in target:
+            _commit_partitions(
+                journal, {pid: []}, [pid], counters, run_span,
+                task_id=None,
+            )
+            outliers_by_pid[pid] = set()
+        return []
+    alloc = allocate(
+        [len(partition_records.get(pid, ())) for pid in target],
+        min(n_reducers, len(target)),
+    )
+    table = {pid: alloc.assignment[i] for i, pid in enumerate(target)}
+    pids_by_reducer: Dict[int, List[int]] = defaultdict(list)
+    for pid, reducer in table.items():
+        pids_by_reducer[reducer].append(pid)
+    job = MapReduceJob(
+        name=f"ckpt-detect-{plan.strategy}",
+        mapper=_RoutedMapper(),
+        reducer=_StreamDODReducer(
+            params, plan.algorithm_plan, detector
+        ),
+        n_reducers=len(alloc.bin_loads),
+        partitioner=DictPartitioner(table),
+    )
+
+    def on_commit(phase: str, task_id: int, outputs) -> None:
+        if phase != "reduce":
+            return
+        outs: Dict[int, List[int]] = defaultdict(list)
+        for pid, outlier_id in outputs:
+            outs[pid].append(outlier_id)
+        owned = pids_by_reducer.get(task_id, [])
+        _commit_partitions(
+            journal, outs, owned, counters, run_span, task_id=task_id
+        )
+        for pid in owned:
+            outliers_by_pid[pid] = set(outs.get(pid, ()))
+
+    prev_listener = runtime.commit_listener
+    runtime.commit_listener = on_commit
+    try:
+        result = runtime.run(job, records)
+    finally:
+        runtime.commit_listener = prev_listener
+    return [result]
+
+
+def _commit_partitions(
+    journal, outs, owned, counters, run_span, task_id
+):
+    """Journal the verdicts of the partitions one reduce task owned."""
+    span = run_span.child(
+        "journal_commit", "event",
+        partitions=sorted(owned),
+    )
+    if task_id is not None:
+        span.annotate(task_id=task_id)
+    try:
+        for pid in sorted(owned):
+            journal.append(
+                "partition",
+                pid=int(pid),
+                outliers=sorted(int(x) for x in outs.get(pid, ())),
+            )
+            counters.incr("recovery", "journal_commits")
+    finally:
+        span.finish()

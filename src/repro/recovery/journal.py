@@ -1,0 +1,190 @@
+"""Per-partition result journal: an append-only, checksummed JSONL WAL.
+
+The checkpointed detection driver commits each partition's verdict to
+this journal as its reduce task lands.  One record per line::
+
+    {"crc32": ..., "kind": "partition", "outliers": [...],
+     "pid": 3, "seq": 7}
+
+The CRC covers the canonical serialization of the record without the
+``crc32`` field, and every append is flushed *and fsynced* before the
+call returns — a record is either durably committed or absent, which is
+exactly the commit-boundary contract the resume path relies on.
+
+Replay semantics distinguish the two ways a journal goes bad:
+
+* **torn tail** — the final line is incomplete or unparsable (the
+  classic artifact of a crash mid-append).  The committed prefix is
+  kept; the torn record's partition simply re-executes.
+* **corruption** — a record parses but fails its checksum, or sequence
+  numbers are broken.  The whole journal is untrusted:
+  :class:`JournalCorrupt` is raised and the caller degrades to a full
+  re-run.  Wrong output is never an outcome.
+
+Chaos hook: ``REPRO_CHAOS_KILL_AFTER_COMMITS=<n>`` makes the journal
+SIGKILL its own process immediately after the ``n``-th durable append —
+the process-kill harness uses this to die at an exact commit boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["JournalCorrupt", "SimulatedCrash", "ResultJournal"]
+
+#: Environment variable consumed by the chaos harness: SIGKILL the
+#: process right after this many successful appends.
+CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_AFTER_COMMITS"
+
+
+class JournalCorrupt(RuntimeError):
+    """A journal record failed validation beyond a torn tail."""
+
+
+class SimulatedCrash(RuntimeError):
+    """In-process stand-in for a driver kill at a commit boundary.
+
+    Raised by :class:`ResultJournal` when ``abort_after_commits`` is
+    reached — the exception-based twin of the SIGKILL chaos hook, cheap
+    enough for property-based tests to crash at *every* boundary.
+    """
+
+
+def _record_crc(record: Dict[str, Any]) -> int:
+    body = {k: v for k, v in record.items() if k != "crc32"}
+    blob = json.dumps(
+        body, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+class ResultJournal:
+    """Append-only JSONL write-ahead log of partition verdicts."""
+
+    def __init__(
+        self,
+        path: str,
+        abort_after_commits: Optional[int] = None,
+    ) -> None:
+        self.path = path
+        self.commits = 0
+        self.abort_after_commits = abort_after_commits
+        kill_env = os.environ.get(CHAOS_KILL_ENV)
+        self._kill_after: Optional[int] = (
+            int(kill_env) if kill_env else None
+        )
+        self._seq = 0
+        self._fh = None
+
+    # -- writing -------------------------------------------------------
+    def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Durably commit one record; returns the record as written."""
+        record: Dict[str, Any] = {"kind": kind, "seq": self._seq}
+        record.update(fields)
+        record["crc32"] = _record_crc(record)
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._seq += 1
+        self.commits += 1
+        self._chaos_check()
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _chaos_check(self) -> None:
+        if (
+            self._kill_after is not None
+            and self.commits >= self._kill_after
+        ):
+            # A real SIGKILL: no finally blocks, no atexit, no flushes —
+            # the strongest crash the recovery layer must survive.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if (
+            self.abort_after_commits is not None
+            and self.commits >= self.abort_after_commits
+        ):
+            raise SimulatedCrash(
+                f"chaos: aborting after {self.commits} journal commits"
+            )
+
+    # -- reading -------------------------------------------------------
+    @classmethod
+    def replay(cls, path: str) -> Tuple[List[Dict[str, Any]], bool]:
+        """Read the committed records of a journal.
+
+        Returns ``(records, torn_tail)``.  A final incomplete/unparsable
+        line is dropped (``torn_tail=True``).  A checksum or sequence
+        violation anywhere raises :class:`JournalCorrupt` — the caller
+        must discard the journal and re-run from scratch.
+        """
+        try:
+            with open(path, "rb") as f:
+                blob = f.read()
+        except FileNotFoundError:
+            return [], False
+        try:
+            raw = blob.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            # A bit flip can damage the encoding itself, not just the
+            # JSON — still corruption, never a traceback.
+            raise JournalCorrupt(
+                f"{path}: journal is not valid UTF-8"
+            ) from exc
+        records: List[Dict[str, Any]] = []
+        torn = False
+        lines = raw.split("\n")
+        # A durably committed record always ends in a newline, so the
+        # final split element is either empty or a torn write.
+        if lines and lines[-1] != "":
+            torn = True
+        body_lines = [line for line in lines[:-1] if line != ""]
+        for i, line in enumerate(body_lines):
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                # Newline-terminated lines were durably committed, so an
+                # unparsable one is damage, not a torn append.
+                raise JournalCorrupt(
+                    f"{path}: record {i} is not valid JSON"
+                ) from exc
+            if not isinstance(record, dict) or "crc32" not in record:
+                raise JournalCorrupt(
+                    f"{path}: record {i} lacks a checksum"
+                )
+            if record["crc32"] != _record_crc(record):
+                raise JournalCorrupt(
+                    f"{path}: record {i} failed its checksum"
+                )
+            if record.get("seq") != i:
+                raise JournalCorrupt(
+                    f"{path}: record {i} has sequence {record.get('seq')}"
+                )
+            records.append(record)
+        return records, torn
+
+    @classmethod
+    def open_for_resume(cls, path: str, **kwargs) -> "ResultJournal":
+        """A journal positioned to append after its committed records."""
+        records, _ = cls.replay(path)
+        journal = cls(path, **kwargs)
+        journal._seq = len(records)
+        return journal

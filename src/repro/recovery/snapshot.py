@@ -1,0 +1,147 @@
+"""Checksummed, versioned on-disk artifacts (snapshots and manifests).
+
+Every durable file the recovery layer writes — streaming snapshots,
+checkpoint manifests — shares one envelope so corruption and version
+skew are detected the same way everywhere:
+
+``{"format": "repro-artifact", "kind": ..., "version": ...,
+"crc32": ..., "payload": ...}``
+
+The CRC covers the *canonical* JSON serialization of the payload
+(sorted keys, no whitespace), so a bit flip anywhere in the payload is
+caught on read regardless of how the file was pretty-printed.  Writes
+are atomic (temp file in the same directory + ``fsync`` + ``os.replace``
++ directory ``fsync``): a crash mid-save leaves either the previous
+artifact or none, never a torn one.
+
+Readers raise :class:`SnapshotError` with a machine-checkable
+``reason`` (``missing`` / ``unreadable`` / ``corrupt`` /
+``version_mismatch`` / ``kind_mismatch``) so callers can decide which
+failures degrade to a clean re-run and which are configuration errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from typing import Any
+
+__all__ = [
+    "SnapshotError",
+    "canonical_bytes",
+    "payload_crc32",
+    "write_artifact",
+    "read_artifact",
+]
+
+_FORMAT = "repro-artifact"
+
+
+class SnapshotError(Exception):
+    """A durable artifact could not be trusted or read.
+
+    ``reason`` is one of ``"missing"``, ``"unreadable"``, ``"corrupt"``,
+    ``"version_mismatch"``, ``"kind_mismatch"``.
+    """
+
+    def __init__(self, path: str, reason: str, detail: str = "") -> None:
+        self.path = path
+        self.reason = reason
+        self.detail = detail
+        message = f"{path}: {reason}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Deterministic serialization the checksum is computed over."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def payload_crc32(payload: Any) -> int:
+    return zlib.crc32(canonical_bytes(payload)) & 0xFFFFFFFF
+
+
+def write_artifact(path: str, kind: str, version: int, payload: Any) -> None:
+    """Atomically write a checksummed artifact to ``path``."""
+    body = {
+        "format": _FORMAT,
+        "kind": kind,
+        "version": version,
+        "crc32": payload_crc32(payload),
+        "payload": payload,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(body, f, indent=1)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    # Make the rename itself durable: fsync the containing directory.
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def read_artifact(path: str, kind: str, version: int) -> Any:
+    """Read and validate an artifact; return its payload.
+
+    Raises :class:`SnapshotError` on any problem — the caller chooses
+    whether that degrades to a fresh run or aborts.
+    """
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except FileNotFoundError:
+        raise SnapshotError(path, "missing") from None
+    except OSError as exc:
+        raise SnapshotError(path, "unreadable", str(exc)) from exc
+    try:
+        raw = blob.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        # Bit flips can break the encoding before they break the JSON.
+        raise SnapshotError(
+            path, "corrupt", f"not UTF-8: {exc}"
+        ) from exc
+    try:
+        body = json.loads(raw)
+    except ValueError as exc:
+        raise SnapshotError(path, "corrupt", f"not JSON: {exc}") from exc
+    if not isinstance(body, dict) or body.get("format") != _FORMAT:
+        raise SnapshotError(path, "corrupt", "missing artifact envelope")
+    if body.get("kind") != kind:
+        raise SnapshotError(
+            path, "kind_mismatch",
+            f"expected {kind!r}, found {body.get('kind')!r}",
+        )
+    if body.get("version") != version:
+        raise SnapshotError(
+            path, "version_mismatch",
+            f"expected {version}, found {body.get('version')!r}",
+        )
+    payload = body.get("payload")
+    expected = body.get("crc32")
+    actual = payload_crc32(payload)
+    if expected != actual:
+        raise SnapshotError(
+            path, "corrupt",
+            f"crc32 mismatch: stored {expected}, computed {actual}",
+        )
+    return payload

@@ -4,7 +4,18 @@ See :mod:`repro.streaming.detector` for the dirty-partition rule and
 :mod:`repro.streaming.plan_cache` for DMT plan reuse and invalidation.
 """
 
-from .detector import StreamBatchReport, StreamingDetector
+from .detector import (
+    SNAPSHOT_KIND,
+    SNAPSHOT_VERSION,
+    StreamBatchReport,
+    StreamingDetector,
+)
 from .plan_cache import DMTPlanCache
 
-__all__ = ["DMTPlanCache", "StreamBatchReport", "StreamingDetector"]
+__all__ = [
+    "DMTPlanCache",
+    "SNAPSHOT_KIND",
+    "SNAPSHOT_VERSION",
+    "StreamBatchReport",
+    "StreamingDetector",
+]

@@ -53,10 +53,20 @@ from ..mapreduce import (
     Mapper,
     TaskContext,
 )
+from ..geometry import UniformGrid
 from ..observability import Span, Tracer
 from ..params import OutlierParams
-from ..partitioning import PartitionPlan, PlanRequest
+from ..partitioning import (
+    PartitionPlan,
+    PlanRequest,
+    plan_from_dict,
+    plan_to_dict,
+)
 from .plan_cache import DMTPlanCache
+
+#: Versioned schema of :meth:`StreamingDetector.save` artifacts.
+SNAPSHOT_KIND = "streaming-snapshot"
+SNAPSHOT_VERSION = 1
 
 __all__ = ["StreamBatchReport", "StreamingDetector"]
 
@@ -460,3 +470,214 @@ class StreamingDetector:
         return self.ingest(
             Dataset(points, np.asarray(ids, dtype=np.int64))
         )
+
+    # ------------------------------------------------------------------
+    # Durability: streaming snapshots
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist the detector's full state as a checksummed artifact.
+
+        Everything the dirty-partition rule depends on is included — the
+        cached plan, the live mini-bucket histogram, every partition's
+        routed records, and the per-partition verdicts — so
+        :meth:`load` resumes the stream exactly where it stopped, with
+        the cache's drift bookkeeping intact.  Writes are atomic: a
+        crash mid-save leaves the previous snapshot.
+        """
+        # Imported here, not at module top: the recovery package's
+        # checkpoint driver imports this module's job classes.
+        from ..recovery.snapshot import write_artifact
+
+        cache = None
+        if self._cache is not None:
+            cache = {
+                "plan": plan_to_dict(self._cache.plan),
+                "grid_shape": [int(s) for s in self._cache.grid.shape],
+                "baseline_counts":
+                    self._cache.baseline_counts.tolist(),
+                "live_counts": self._cache.live_counts.tolist(),
+                "batches_served": int(self._cache.batches_served),
+                "drift_threshold": float(self._cache.drift_threshold),
+            }
+        payload = {
+            "params": {
+                "r": float(self.params.r), "k": int(self.params.k)
+            },
+            "strategy": self.strategy.name,
+            "detector": self.detector,
+            "seed": int(self.seed),
+            "drift_threshold": float(self.drift_threshold),
+            "n_partitions": int(self.n_partitions),
+            "n_reducers": int(self.n_reducers),
+            "batch_index": int(self._batch_index),
+            "ids": None if self._ids is None else self._ids.tolist(),
+            "points": (
+                None if self._points is None else self._points.tolist()
+            ),
+            "cache": cache,
+            "partition_records": {
+                str(pid): [
+                    [tag, pt_id, list(point)]
+                    for tag, pt_id, point in records
+                ]
+                for pid, records in self._partition_records.items()
+            },
+            "outliers_by_pid": {
+                str(pid): sorted(int(x) for x in outliers)
+                for pid, outliers in self._outliers_by_pid.items()
+            },
+            "counters": self.counters.as_dict(),
+        }
+        write_artifact(path, SNAPSHOT_KIND, SNAPSHOT_VERSION, payload)
+        self.counters.incr("recovery", "snapshot_saves")
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        runtime: Optional[LocalRuntime] = None,
+        cluster: Optional[ClusterConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> "StreamingDetector":
+        """Rebuild a detector from a :meth:`save` artifact.
+
+        Raises :class:`~repro.recovery.snapshot.SnapshotError` when the
+        file is missing, corrupt, or written under a different schema
+        version — callers that prefer degradation over failure use
+        :meth:`restore`.  Runtime objects (process pools, tracers) are
+        deliberately not persisted; pass fresh ones.
+        """
+        from ..recovery.snapshot import read_artifact
+
+        payload = read_artifact(path, SNAPSHOT_KIND, SNAPSHOT_VERSION)
+        detector = cls(
+            OutlierParams(
+                r=payload["params"]["r"], k=payload["params"]["k"]
+            ),
+            strategy=payload["strategy"],
+            detector=payload["detector"],
+            runtime=runtime,
+            cluster=cluster,
+            n_partitions=payload["n_partitions"],
+            n_reducers=payload["n_reducers"],
+            drift_threshold=payload["drift_threshold"],
+            seed=payload["seed"],
+            tracer=tracer,
+        )
+        detector._batch_index = int(payload["batch_index"])
+        if payload["ids"] is not None:
+            detector._ids = np.asarray(payload["ids"], dtype=np.int64)
+            detector._points = np.asarray(
+                payload["points"], dtype=float
+            )
+        cache = payload["cache"]
+        if cache is not None:
+            plan = plan_from_dict(cache["plan"])
+            rebuilt = DMTPlanCache(
+                plan,
+                UniformGrid(plan.domain, tuple(cache["grid_shape"])),
+                np.asarray(cache["baseline_counts"], dtype=float),
+                drift_threshold=cache["drift_threshold"],
+            )
+            rebuilt.live_counts = np.asarray(
+                cache["live_counts"], dtype=float
+            )
+            rebuilt.batches_served = int(cache["batches_served"])
+            detector._cache = rebuilt
+        detector._partition_records = {
+            int(pid): [
+                (int(tag), int(pt_id), tuple(point))
+                for tag, pt_id, point in records
+            ]
+            for pid, records in payload["partition_records"].items()
+        }
+        detector._outliers_by_pid = {
+            int(pid): set(outliers)
+            for pid, outliers in payload["outliers_by_pid"].items()
+        }
+        for group, names in payload.get("counters", {}).items():
+            for name, value in names.items():
+                detector.counters.incr(group, name, value)
+        detector.counters.incr("recovery", "snapshot_loads")
+        return detector
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        params: OutlierParams,
+        strategy="DMT",
+        detector: str = "nested_loop",
+        runtime: Optional[LocalRuntime] = None,
+        cluster: Optional[ClusterConfig] = None,
+        n_partitions: Optional[int] = None,
+        n_reducers: Optional[int] = None,
+        drift_threshold: float = 0.25,
+        seed: int = 1,
+        tracer: Optional[Tracer] = None,
+    ) -> "StreamingDetector":
+        """Load a snapshot if one is trustworthy, else start fresh.
+
+        The degradation policy of the recovery layer, applied to
+        streams: a missing snapshot silently starts a fresh detector
+        (first run); a corrupt or version-mismatched one is *discarded*
+        with a ``RuntimeWarning``, a warning span, and a
+        ``recovery/snapshot_fallbacks`` counter — the stream re-runs
+        from scratch rather than trusting damaged state.  A snapshot
+        whose detection parameters contradict the requested ones raises
+        ``ValueError``: that is a configuration error, not corruption.
+        """
+        import warnings
+
+        from ..recovery.snapshot import SnapshotError
+
+        try:
+            loaded = cls.load(
+                path, runtime=runtime, cluster=cluster, tracer=tracer
+            )
+        except SnapshotError as exc:
+            if exc.reason == "missing":
+                return cls(
+                    params, strategy=strategy, detector=detector,
+                    runtime=runtime, cluster=cluster,
+                    n_partitions=n_partitions, n_reducers=n_reducers,
+                    drift_threshold=drift_threshold, seed=seed,
+                    tracer=tracer,
+                )
+            warnings.warn(
+                f"streaming snapshot unusable ({exc}); starting the "
+                "stream from scratch",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            fresh = cls(
+                params, strategy=strategy, detector=detector,
+                runtime=runtime, cluster=cluster,
+                n_partitions=n_partitions, n_reducers=n_reducers,
+                drift_threshold=drift_threshold, seed=seed,
+                tracer=tracer,
+            )
+            fresh.counters.incr("recovery", "snapshot_fallbacks")
+            span = Span.begin(
+                "snapshot_fallback", "event",
+                path=path, reason=exc.reason,
+            )
+            span.finish(warning=str(exc))
+            fresh.tracer.record(span)
+            return fresh
+        requested = (
+            float(params.r), int(params.k),
+            resolve_strategy(strategy).name, detector,
+        )
+        found = (
+            float(loaded.params.r), int(loaded.params.k),
+            loaded.strategy.name, loaded.detector,
+        )
+        if requested != found:
+            raise ValueError(
+                f"snapshot {path} was taken with "
+                f"(r, k, strategy, detector)={found}, requested "
+                f"{requested}; pass matching parameters or a fresh "
+                "snapshot path"
+            )
+        return loaded

@@ -234,3 +234,118 @@ class TestPlanAndInfo:
         np.savetxt(path, pts, delimiter=",")
         assert main(["info", str(path), "--with-ids"]) == 0
         assert "points:  10" in capsys.readouterr().out
+
+
+class TestInputHardening:
+    """NaN/inf rows and unreadable inputs fail clearly, never silently."""
+
+    def test_nonfinite_rows_error_without_quarantine(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2\n3,nan\n4,5\ninf,6\n")
+        code = main(["detect", str(path), "-r", "2.0", "-k", "1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "NaN/inf" in err and "--quarantine-out" in err
+
+    def test_quarantine_diverts_and_reports(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "1,2\n3,nan\n1.5,2.5\n4,5\ninf,6\n1,1\n2,2\n9,9\n"
+        )
+        quarantine = tmp_path / "quarantine.csv"
+        out = tmp_path / "report.json"
+        code = main([
+            "detect", str(path), "-r", "2.0", "-k", "2",
+            "--quarantine-out", str(quarantine), "-o", str(out),
+        ])
+        assert code == 0
+        assert "quarantined 2 rows" in capsys.readouterr().err
+        bad = np.loadtxt(quarantine, delimiter=",", ndmin=2)
+        assert bad.shape == (2, 2)
+        report = json.loads(out.read_text())
+        assert report["rows_quarantined"] == 2
+        assert report["n_points"] == 6
+
+    def test_missing_input_is_clean_error(self, tmp_path, capsys):
+        code = main([
+            "detect", str(tmp_path / "nope.csv"), "-r", "1", "-k", "1",
+        ])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_ragged_csv_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "ragged.csv"
+        path.write_text("1,2\n3,4,5\n")
+        code = main(["detect", str(path), "-r", "1", "-k", "1"])
+        assert code == 2
+        assert "could not read" in capsys.readouterr().err
+
+
+class TestRecoveryCLI:
+    def test_checkpoint_then_noop_resume(self, csv_points, tmp_path,
+                                         capsys):
+        ckpt = tmp_path / "ckpt"
+        out = tmp_path / "first.json"
+        assert main([
+            "detect", csv_points, "-r", "2.0", "-k", "5",
+            "--checkpoint-dir", str(ckpt), "-o", str(out),
+        ]) == 0
+        resumed_out = tmp_path / "second.json"
+        assert main([
+            "resume", str(ckpt), "-o", str(resumed_out),
+        ]) == 0
+        first = json.loads(out.read_text())
+        second = json.loads(resumed_out.read_text())
+        assert first["outliers"] == second["outliers"]
+        assert second["resumed"] is True
+        assert second["partitions_executed"] == []
+        assert "resumed:" in capsys.readouterr().err
+
+    def test_stream_snapshot_resume_matches_uninterrupted(
+        self, csv_points, tmp_path, capsys
+    ):
+        snap = tmp_path / "snap.json"
+        full = tmp_path / "full.json"
+        assert main([
+            "stream", csv_points, "-r", "2.0", "-k", "5",
+            "--batch-size", "120", "-o", str(full),
+        ]) == 0
+        # Same stream, snapshotting every batch, then a second process
+        # resumes from the snapshot and ingests more data.
+        assert main([
+            "stream", csv_points, "-r", "2.0", "-k", "5",
+            "--batch-size", "120", "--snapshot", str(snap),
+            "-o", str(tmp_path / "s1.json"),
+        ]) == 0
+        report = json.loads((tmp_path / "s1.json").read_text())
+        assert (report["outliers"]
+                == json.loads(full.read_text())["outliers"])
+        assert main([
+            "stream", csv_points, "-r", "2.0", "-k", "5",
+            "--batch-size", "120", "--snapshot", str(snap),
+            "-o", str(tmp_path / "s2.json"),
+        ]) == 0
+        assert "resumed stream" in capsys.readouterr().err
+        resumed = json.loads((tmp_path / "s2.json").read_text())
+        assert resumed["n_points"] == 2 * report["n_points"]
+
+    def test_stream_snapshot_param_mismatch_is_clean_error(
+        self, csv_points, tmp_path, capsys
+    ):
+        snap = tmp_path / "snap.json"
+        assert main([
+            "stream", csv_points, "-r", "2.0", "-k", "5",
+            "--batch-size", "200", "--snapshot", str(snap),
+        ]) == 0
+        code = main([
+            "stream", csv_points, "-r", "3.0", "-k", "5",
+            "--batch-size", "200", "--snapshot", str(snap),
+        ])
+        assert code == 2
+        assert "snapshot" in capsys.readouterr().err
+
+    def test_clean_shm_dry_run(self, capsys):
+        assert main(["clean-shm", "--dry-run"]) == 0
+        assert "would remove" in capsys.readouterr().out

@@ -37,6 +37,39 @@ class TestCSV:
         np.testing.assert_allclose(loaded.points, shifted.points,
                                    rtol=1e-9)
 
+    def test_nonfinite_rows_rejected_by_default(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2\n3,nan\n4,5\ninf,6\n")
+        with pytest.raises(ValueError, match="NaN/inf"):
+            load_csv(str(path))
+
+    def test_nonfinite_rows_dropped_on_request(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2\n3,nan\n4,5\ninf,6\n")
+        data = load_csv(str(path), invalid="drop")
+        assert data.n == 2
+        assert np.isfinite(data.points).all()
+
+    def test_all_rows_nonfinite_is_an_error(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nan,nan\ninf,1\n")
+        with pytest.raises(ValueError, match="no usable rows"):
+            load_csv(str(path), invalid="drop")
+
+    def test_invalid_mode_validated(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text("1,2\n")
+        with pytest.raises(ValueError, match="'error' or 'drop'"):
+            load_csv(str(path), invalid="ignore")
+
+    def test_nonfinite_id_column_is_tolerated_mask(self, tmp_path):
+        # With --with-ids only the coordinates are screened; the mask
+        # helper itself is what the loaders and CLI share.
+        from repro.data import finite_row_mask
+
+        coords = np.array([[1.0, 2.0], [np.nan, 0.0], [3.0, np.inf]])
+        assert finite_row_mask(coords).tolist() == [True, False, False]
+
     def test_too_few_columns(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("1\n2\n")

@@ -1,0 +1,341 @@
+"""Durable checkpoint/recovery layer: journal, manifest, snapshots.
+
+The contract under test (ISSUE 5): a driver killed at *any* partition
+commit boundary resumes to a byte-identical outlier set, re-executing
+only uncommitted partitions; any corrupted artifact (bit-flip, torn
+write, version skew) degrades toward recomputation — never toward wrong
+or silently partial output.
+"""
+
+import json
+import os
+import tempfile
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dataset, detect_outliers
+from repro.params import OutlierParams
+from repro.recovery import (
+    CheckpointMismatch,
+    JOURNAL_FILE,
+    MANIFEST_FILE,
+    CheckpointedResult,
+    JournalCorrupt,
+    ResultJournal,
+    SimulatedCrash,
+    SnapshotError,
+    dataset_fingerprint,
+    read_artifact,
+    read_manifest,
+    run_checkpointed,
+    write_artifact,
+)
+
+
+def small_dataset(n=260, seed=3) -> Dataset:
+    rng = np.random.default_rng(seed)
+    pts = np.vstack([
+        rng.normal((10.0, 10.0), 1.2, size=(n - 20, 2)),
+        rng.uniform(0.0, 55.0, size=(20, 2)),
+    ])
+    return Dataset.from_points(pts)
+
+
+DATASET = small_dataset()
+PARAMS = OutlierParams(r=1.5, k=10)
+SIZING = dict(n_partitions=8, n_reducers=4, seed=5)
+
+#: The uninterrupted reference answer every recovery path must hit.
+ORACLE = detect_outliers(
+    DATASET, PARAMS, strategy="DMT", detector="nested_loop", **SIZING
+).outlier_ids
+
+
+def checkpointed(checkpoint_dir, **kwargs) -> CheckpointedResult:
+    merged = dict(SIZING)
+    merged.update(kwargs)
+    return run_checkpointed(DATASET, PARAMS, checkpoint_dir, **merged)
+
+
+# ----------------------------------------------------------------------
+# Journal unit behavior
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with ResultJournal(path) as journal:
+            journal.append("partition", pid=3, outliers=[7, 1])
+            journal.append("partition", pid=5, outliers=[])
+        records, torn = ResultJournal.replay(path)
+        assert not torn
+        assert [r["pid"] for r in records] == [3, 5]
+        assert records[0]["outliers"] == [7, 1]
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        records, torn = ResultJournal.replay(str(tmp_path / "nope"))
+        assert records == [] and not torn
+
+    def test_torn_tail_dropped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with ResultJournal(path) as journal:
+            journal.append("partition", pid=0, outliers=[1])
+        with open(path, "a") as f:
+            f.write('{"kind": "partition", "seq": 1, "pid')  # no \n
+        records, torn = ResultJournal.replay(path)
+        assert torn
+        assert [r["pid"] for r in records] == [0]
+
+    def test_interior_bitflip_is_corrupt(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with ResultJournal(path) as journal:
+            journal.append("partition", pid=0, outliers=[1, 2, 3])
+            journal.append("partition", pid=1, outliers=[])
+        blob = bytearray(open(path, "rb").read())
+        blob[15] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(JournalCorrupt):
+            ResultJournal.replay(path)
+
+    def test_seq_gap_is_corrupt(self, tmp_path):
+        # A journal spliced from two runs must not replay silently.
+        path = str(tmp_path / "j.jsonl")
+        with ResultJournal(path) as journal:
+            journal.append("partition", pid=0, outliers=[])
+        line = open(path).read()
+        open(path, "w").write(line + line)  # seq 0 appears twice
+        with pytest.raises(JournalCorrupt):
+            ResultJournal.replay(path)
+
+    def test_resume_continues_sequence(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with ResultJournal(path) as journal:
+            journal.append("partition", pid=0, outliers=[])
+        with ResultJournal.open_for_resume(path) as journal:
+            journal.append("partition", pid=1, outliers=[])
+        records, _ = ResultJournal.replay(path)
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_abort_after_commits_raises(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with ResultJournal(path, abort_after_commits=2) as journal:
+            journal.append("partition", pid=0, outliers=[])
+            with pytest.raises(SimulatedCrash):
+                journal.append("partition", pid=1, outliers=[])
+        # Both appends hit the disk before the simulated kill.
+        records, _ = ResultJournal.replay(path)
+        assert len(records) == 2
+
+
+# ----------------------------------------------------------------------
+# Artifact envelope
+# ----------------------------------------------------------------------
+class TestArtifact:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "a.json")
+        write_artifact(path, "t", 1, {"x": [1, 2], "y": "z"})
+        assert read_artifact(path, "t", 1) == {"x": [1, 2], "y": "z"}
+
+    @pytest.mark.parametrize("mutate,reason", [
+        (lambda d: d.update(kind="other"), "kind_mismatch"),
+        (lambda d: d.update(version=2), "version_mismatch"),
+        (lambda d: d["payload"].update(x=99), "corrupt"),
+    ])
+    def test_validation(self, tmp_path, mutate, reason):
+        path = str(tmp_path / "a.json")
+        write_artifact(path, "t", 1, {"x": 1})
+        doc = json.load(open(path))
+        mutate(doc)
+        json.dump(doc, open(path, "w"))
+        with pytest.raises(SnapshotError) as err:
+            read_artifact(path, "t", 1)
+        assert err.value.reason == reason
+
+    def test_missing(self, tmp_path):
+        with pytest.raises(SnapshotError) as err:
+            read_artifact(str(tmp_path / "nope"), "t", 1)
+        assert err.value.reason == "missing"
+
+
+# ----------------------------------------------------------------------
+# Checkpointed detection
+# ----------------------------------------------------------------------
+class TestCheckpointedRun:
+    def test_fresh_run_matches_oracle(self, tmp_path):
+        result = checkpointed(str(tmp_path / "ckpt"))
+        assert result.outlier_ids == ORACLE
+        assert not result.resumed
+        assert result.replayed_partitions == []
+        assert result.counters.get("recovery", "journal_commits") == \
+            result.n_partitions
+
+    def test_rerun_replays_everything(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        first = checkpointed(ckpt)
+        again = checkpointed(ckpt)
+        assert again.resumed
+        assert again.executed_partitions == []
+        assert again.replayed_partitions == sorted(
+            first.replayed_partitions + first.executed_partitions
+        )
+        assert again.outlier_ids == ORACLE
+
+    @settings(max_examples=12, deadline=None)
+    @given(boundary=st.integers(min_value=1, max_value=13))
+    def test_crash_at_any_boundary_resumes_identically(self, boundary):
+        """Kill-and-resume property: every commit boundary is safe.
+
+        ``abort_after_commits`` simulates the SIGKILL (the journal is
+        already fsynced when it fires, exactly like the real chaos
+        hook); the resumed run must replay precisely the committed
+        partitions and still produce the oracle answer.
+        """
+        with tempfile.TemporaryDirectory() as tmp:
+            ckpt = os.path.join(tmp, "ckpt")
+            with pytest.raises(SimulatedCrash):
+                checkpointed(ckpt, abort_after_commits=boundary)
+            resumed = checkpointed(ckpt)
+            assert resumed.resumed
+            assert len(resumed.replayed_partitions) == boundary
+            assert resumed.outlier_ids == ORACLE
+            got = resumed.counters.get
+            assert got("recovery", "partitions_replayed") == boundary
+            assert got("recovery", "partitions_executed") == len(
+                resumed.executed_partitions
+            )
+
+    def test_torn_journal_tail_resumes(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            checkpointed(ckpt, abort_after_commits=3)
+        journal = os.path.join(ckpt, JOURNAL_FILE)
+        with open(journal, "a") as f:
+            f.write('{"kind": "partition", "seq": 3')  # torn write
+        resumed = checkpointed(ckpt)
+        assert resumed.outlier_ids == ORACLE
+        assert len(resumed.replayed_partitions) == 3
+        assert resumed.counters.get(
+            "recovery", "torn_tail_dropped"
+        ) == 1
+
+    def test_corrupt_journal_falls_back_to_full_rerun(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            checkpointed(ckpt, abort_after_commits=3)
+        journal = os.path.join(ckpt, JOURNAL_FILE)
+        blob = bytearray(open(journal, "rb").read())
+        blob[20] ^= 0x01
+        open(journal, "wb").write(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="journal"):
+            resumed = checkpointed(ckpt)
+        assert resumed.outlier_ids == ORACLE
+        assert resumed.replayed_partitions == []
+        assert resumed.counters.get(
+            "recovery", "journal_discarded"
+        ) == 1
+
+    def test_corrupt_manifest_falls_back_to_fresh_run(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        checkpointed(ckpt)
+        manifest = os.path.join(ckpt, MANIFEST_FILE)
+        blob = bytearray(open(manifest, "rb").read())
+        blob[len(blob) // 2] ^= 0x01
+        open(manifest, "wb").write(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="manifest"):
+            result = checkpointed(ckpt)
+        assert result.outlier_ids == ORACLE
+        assert not result.resumed
+        assert result.counters.get(
+            "recovery", "manifest_discarded"
+        ) == 1
+
+    def test_different_run_raises_not_clobbers(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        checkpointed(ckpt)
+        with pytest.raises(CheckpointMismatch):
+            run_checkpointed(
+                DATASET, OutlierParams(r=2.5, k=4), ckpt, **SIZING
+            )
+        # The original checkpoint survives the rejected attempt.
+        assert read_manifest(ckpt)["config"]["r"] == PARAMS.r
+
+    def test_fingerprint_binds_to_content(self):
+        other = small_dataset(seed=4)
+        assert dataset_fingerprint(DATASET) != dataset_fingerprint(other)
+        assert dataset_fingerprint(DATASET) == dataset_fingerprint(
+            small_dataset()
+        )
+
+
+# ----------------------------------------------------------------------
+# Streaming snapshots
+# ----------------------------------------------------------------------
+def _stream(batches=3, **kwargs):
+    from repro.streaming import StreamingDetector
+
+    detector = StreamingDetector(
+        PARAMS, strategy="DMT", detector="nested_loop", seed=5, **kwargs
+    )
+    cuts = np.array_split(np.arange(DATASET.n), batches)
+    for rows in cuts:
+        detector.ingest(DATASET.subset(rows))
+    return detector
+
+
+class TestStreamingSnapshot:
+    def test_roundtrip_preserves_stream_state(self, tmp_path):
+        from repro.streaming import StreamingDetector
+
+        path = str(tmp_path / "snap.json")
+        detector = _stream(batches=3)
+        detector.save(path)
+        clone = StreamingDetector.load(path)
+        assert clone.n_seen == detector.n_seen
+        assert clone.outlier_ids == detector.outlier_ids
+        # The restored stream must keep *behaving* like the original.
+        extra = np.random.default_rng(9).normal(
+            (10.0, 10.0), 1.2, size=(40, 2)
+        )
+        a = detector.ingest_points(extra.copy())
+        b = clone.ingest_points(extra.copy())
+        assert a.outlier_ids == b.outlier_ids
+        assert detector.outlier_ids == clone.outlier_ids
+
+    def test_bitflip_falls_back_to_clean_start(self, tmp_path):
+        from repro.streaming import StreamingDetector
+
+        path = str(tmp_path / "snap.json")
+        _stream(batches=2).save(path)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 3] ^= 0x04
+        open(path, "wb").write(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="snapshot"):
+            fresh = StreamingDetector.restore(path, PARAMS, seed=5)
+        assert fresh.n_seen == 0
+        assert fresh.counters.get(
+            "recovery", "snapshot_fallbacks"
+        ) == 1
+
+    def test_missing_snapshot_starts_clean_silently(self, tmp_path):
+        from repro.streaming import StreamingDetector
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fresh = StreamingDetector.restore(
+                str(tmp_path / "nope.json"), PARAMS, seed=5
+            )
+        assert fresh.n_seen == 0
+
+    def test_param_mismatch_raises(self, tmp_path):
+        from repro.streaming import StreamingDetector
+
+        path = str(tmp_path / "snap.json")
+        _stream(batches=2).save(path)
+        with pytest.raises(ValueError, match="r, k, strategy"):
+            StreamingDetector.restore(
+                path, OutlierParams(r=9.0, k=2), seed=5
+            )
