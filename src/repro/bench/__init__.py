@@ -1,11 +1,13 @@
 """Performance benchmark harness (``repro bench``).
 
-Runs the fixed serial-vs-parallel x transport x detector matrix over a
-fig8-scale workload and emits ``BENCH_<label>.json`` — the artifact that
-seeds the repo's perf trajectory and backs the CI regression gate.
+Runs the fixed serial-vs-parallel x transport x detector x kernel
+matrix over a fig8-scale workload and emits ``BENCH_<label>.json`` —
+the artifact that seeds the repo's perf trajectory and backs the CI
+regression gate.
 """
 
 from .harness import (
+    KERNEL_SPEEDUP_FLOOR,
     BenchConfig,
     check_against,
     load_bench,
@@ -17,6 +19,7 @@ from .streaming import StreamBenchConfig, run_stream_bench
 
 __all__ = [
     "BenchConfig",
+    "KERNEL_SPEEDUP_FLOOR",
     "RecoveryBenchConfig",
     "StreamBenchConfig",
     "run_bench",

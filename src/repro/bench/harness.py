@@ -14,10 +14,20 @@ Each ``BENCH_<label>.json`` carries three kinds of numbers:
   correctness bug, not a perf regression.
 * **machine-local walls** — min/all wall seconds and throughput.  Never
   compared across machines.
-* **same-machine ratios** — per-task dispatch overhead per transport and
-  the pickle/shm overhead ratio.  Dimensionless and roughly portable, so
-  the CI gate checks them against the checked-in baseline with a
-  one-sided tolerance (a *faster* shm path is never a regression).
+* **same-machine ratios** — per-task dispatch overhead per transport,
+  the pickle/shm overhead ratio, and the python/numpy kernel speedup
+  ratio.  Dimensionless and roughly portable, so the CI gate checks
+  them against the checked-in baseline with a one-sided tolerance (a
+  *faster* shm path or numpy kernel is never a regression).  The
+  kernel ratio additionally has an absolute floor
+  (:data:`KERNEL_SPEEDUP_FLOOR`): the vectorized backend must stay at
+  least that many times faster than the scalar oracle on the
+  reduce-side detection work it vectorizes.
+
+The matrix's kernel axis runs on the **serial** cells only (one per
+backend in ``kernels``): kernels change per-task arithmetic, not
+dispatch, so serial runs isolate the effect while the parallel cells
+stay on the default backend.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from typing import Any, Dict, List
 
 from ..core import detect_outliers
 from ..data import region_dataset
+from ..kernels import make_kernel
 from ..mapreduce import (
     ClusterConfig,
     Counters,
@@ -40,13 +51,19 @@ from ..params import OutlierParams
 
 __all__ = [
     "BenchConfig",
+    "KERNEL_SPEEDUP_FLOOR",
     "run_bench",
     "check_against",
     "save_bench",
     "load_bench",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Absolute one-sided floor for the serial python/numpy per-task wall
+#: ratio: the vectorized kernel must stay at least this many times
+#: faster than the scalar oracle on reduce-side detection work.
+KERNEL_SPEEDUP_FLOOR = 3.0
 
 
 @dataclass(frozen=True)
@@ -67,6 +84,9 @@ class BenchConfig:
     strategy: str = "DMT"
     detectors: tuple = ("nested_loop", "cell_based")
     transports: tuple = ("pickle", "shm")
+    #: Distance backends for the serial kernel axis; parallel cells all
+    #: run on the last entry (the production default).
+    kernels: tuple = ("python", "numpy")
     workers: int = 4
     repeats: int = 5
     n_partitions: int = 16
@@ -107,12 +127,15 @@ def _run_cell(
     detector: str,
     runtime_kind: str,
     transport: str,
+    kernel: str,
     log=None,
 ) -> Dict[str, Any]:
     """One matrix cell: ``repeats`` detection runs, min-of-N wall."""
     params = OutlierParams(r=config.r, k=config.k)
     walls: List[float] = []
     detect_walls: List[float] = []
+    reduce_walls: List[float] = []
+    kernel_walls: List[float] = []
     tstats_all: List[Dict[str, Any]] = []
     last = None
     for _ in range(config.repeats):
@@ -122,10 +145,17 @@ def _run_cell(
         )
         if runtime_kind == "serial":
             runtime = LocalRuntime(cluster)
+            # A shared Kernel instance: serial tasks run in-process, so
+            # every partition's scan accumulates into one wall_seconds —
+            # backend-body time only, the kernel-speedup numerator.
+            # (Parallel tasks run in worker processes, where instance
+            # state does not come back; those cells pass the name.)
+            kernel_spec = make_kernel(kernel)
         else:
             runtime = ParallelRuntime(
                 cluster, workers=config.workers, transport=transport
             )
+            kernel_spec = kernel
         start = time.perf_counter()
         last = detect_outliers(
             dataset, params,
@@ -133,9 +163,13 @@ def _run_cell(
             n_partitions=config.n_partitions,
             n_reducers=config.n_reducers,
             cluster=cluster, runtime=runtime, seed=config.seed,
+            kernel=kernel_spec,
         )
         walls.append(time.perf_counter() - start)
         detect_walls.append(last.detect_wall)
+        reduce_walls.append(sum(last.run.reduce_task_costs("wall")))
+        if runtime_kind == "serial":
+            kernel_walls.append(kernel_spec.wall_seconds)
         # The runtime accumulates dispatch stats over *every* job it
         # ran — planning included — which per-job results undercount
         # (the planning JobResult is discarded by the strategy).
@@ -152,15 +186,18 @@ def _run_cell(
         if tstats_all else {}
     )
     wall = min(walls)
+    n_reduce_tasks = len(last.run.reduce_task_costs("wall"))
     cell = {
         "runtime": runtime_kind,
         "transport": transport,
         "detector": detector,
+        "kernel": kernel,
         "workers": config.workers if runtime_kind == "parallel" else 0,
         "repeats": config.repeats,
         "wall_seconds": wall,
         "wall_seconds_all": walls,
         "detect_wall_seconds": min(detect_walls),
+        "reduce_task_wall_seconds": min(reduce_walls),
         "throughput_points_per_s": (
             dataset.n / wall if wall > 0 else 0.0
         ),
@@ -170,6 +207,17 @@ def _run_cell(
         "cost_units": last.map_units + last.reduce_units,
         "shuffle_records": last.run.total_shuffle_records(),
     }
+    if kernel_walls:
+        # Backend-body wall (Kernel.wall_seconds): exactly the work the
+        # backends implement differently, so the python/numpy speedup
+        # is measured here — end-to-end and even per-task walls dilute
+        # it with planning, record assembly, and tracing overhead both
+        # backends share.
+        cell["kernel_wall_seconds"] = min(kernel_walls)
+        cell["kernel_wall_per_task_us"] = (
+            min(kernel_walls) / n_reduce_tasks * 1e6
+            if n_reduce_tasks else 0.0
+        )
     if tstats:
         cell["transport_stats"] = tstats
         tasks = tstats.get("tasks", 0)
@@ -179,7 +227,7 @@ def _run_cell(
     if log is not None:
         log(
             f"  {runtime_kind:<8} {transport:<7} {detector:<12} "
-            f"{wall:8.3f}s  outliers={cell['n_outliers']}"
+            f"{kernel:<7} {wall:8.3f}s  outliers={cell['n_outliers']}"
         )
     return cell
 
@@ -196,14 +244,20 @@ def run_bench(config: BenchConfig, log=None) -> Dict[str, Any]:
             f"workers={config.workers} repeats={config.repeats}"
         )
     runs: List[Dict[str, Any]] = []
+    default_kernel = config.kernels[-1]
     for detector in config.detectors:
-        runs.append(
-            _run_cell(config, dataset, detector, "serial", "inline", log)
-        )
+        for kernel in config.kernels:
+            runs.append(
+                _run_cell(
+                    config, dataset, detector, "serial", "inline",
+                    kernel, log,
+                )
+            )
         for transport in config.transports:
             runs.append(
                 _run_cell(
-                    config, dataset, detector, "parallel", transport, log
+                    config, dataset, detector, "parallel", transport,
+                    default_kernel, log,
                 )
             )
     return {
@@ -220,6 +274,7 @@ def run_bench(config: BenchConfig, log=None) -> Dict[str, Any]:
             "workers": config.workers,
             "seed": config.seed,
             "block_records": config.block_records,
+            "kernels": list(config.kernels),
         },
         "runs": runs,
         "derived": _derive(runs, config),
@@ -247,8 +302,13 @@ def _derive(runs: List[Dict[str, Any]], config: BenchConfig) -> Dict[str, Any]:
             entry["dispatch_overhead_ratio"] = (
                 overhead["pickle"] / overhead["shm"]
             )
+        serial_cells = [c for c in cells if c["runtime"] == "serial"]
         serial = next(
-            (c for c in cells if c["runtime"] == "serial"), None
+            (
+                c for c in serial_cells
+                if c["kernel"] == config.kernels[-1]
+            ),
+            serial_cells[0] if serial_cells else None,
         )
         if serial is not None:
             entry["speedup_vs_serial"] = {
@@ -257,6 +317,16 @@ def _derive(runs: List[Dict[str, Any]], config: BenchConfig) -> Dict[str, Any]:
                     if c["wall_seconds"] > 0 else 0.0
                 for c in cells if c["runtime"] == "parallel"
             }
+        kernel_walls = {
+            c["kernel"]: c["kernel_wall_per_task_us"]
+            for c in serial_cells if "kernel_wall_per_task_us" in c
+        }
+        if kernel_walls:
+            entry["kernel_wall_per_task_us"] = kernel_walls
+        if kernel_walls.get("python") and kernel_walls.get("numpy"):
+            entry["kernel_speedup_ratio"] = (
+                kernel_walls["python"] / kernel_walls["numpy"]
+            )
         derived["per_detector"][detector] = entry
     derived["identical_outliers"] = identical
     return derived
@@ -280,6 +350,14 @@ def check_against(
       dispatch cost / shm) must not regress below
       ``baseline * (1 - tolerance)`` — one-sided, because a faster shm
       path is an improvement, not a deviation;
+    * the per-detector ``kernel_speedup_ratio`` (serial python / numpy
+      backend-body wall per task) gets the same one-sided baseline check
+      *and*, whenever the baseline itself records at least
+      :data:`KERNEL_SPEEDUP_FLOOR`, an absolute floor at that value —
+      once a workload has demonstrated the vectorized backend earning
+      3x over the scalar oracle, dropping below it means the kernel
+      layer lost its reason to exist (toy workloads whose baseline never
+      reached the floor only get the relative check);
     * every detector must keep ``identical_outliers`` true.
 
     Absolute wall times and throughput are machine-local and never
@@ -294,7 +372,10 @@ def check_against(
         return problems  # nothing else is comparable
 
     def key(cell):
-        return (cell["runtime"], cell["transport"], cell["detector"])
+        return (
+            cell["runtime"], cell["transport"], cell["detector"],
+            cell.get("kernel", ""),
+        )
 
     base_cells = {key(c): c for c in baseline.get("runs", [])}
     run_cells = {key(c): c for c in result.get("runs", [])}
@@ -326,16 +407,36 @@ def check_against(
             problems.append(
                 f"{detector}: outlier sets differ across transports"
             )
-        base_ratio = base_entry.get("dispatch_overhead_ratio")
-        run_ratio = run_entry.get("dispatch_overhead_ratio")
-        if base_ratio is not None:
+        for ratio_field in (
+            "dispatch_overhead_ratio", "kernel_speedup_ratio"
+        ):
+            base_ratio = base_entry.get(ratio_field)
+            run_ratio = run_entry.get(ratio_field)
+            if base_ratio is None:
+                continue
             floor = base_ratio * (1.0 - tolerance)
             if run_ratio is None or run_ratio < floor:
                 problems.append(
-                    f"{detector}: dispatch_overhead_ratio regressed to "
+                    f"{detector}: {ratio_field} regressed to "
                     f"{run_ratio} (< {floor:.2f} = baseline "
                     f"{base_ratio:.2f} - {tolerance:.0%})"
                 )
+        base_kernel_ratio = base_entry.get("kernel_speedup_ratio")
+        run_kernel_ratio = run_entry.get("kernel_speedup_ratio")
+        if (
+            base_kernel_ratio is not None
+            and base_kernel_ratio >= KERNEL_SPEEDUP_FLOOR
+            and (
+                run_kernel_ratio is None
+                or run_kernel_ratio < KERNEL_SPEEDUP_FLOOR
+            )
+        ):
+            problems.append(
+                f"{detector}: kernel_speedup_ratio {run_kernel_ratio} "
+                f"below the absolute floor {KERNEL_SPEEDUP_FLOOR:.1f}x "
+                "(numpy backend must stay well ahead of the scalar "
+                "oracle)"
+            )
     return problems
 
 

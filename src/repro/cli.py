@@ -6,6 +6,7 @@ Subcommands::
     python -m repro detect data.csv -r 2.0 -k 12 --strategy DMT -o out.json
     python -m repro detect data.csv -r 2.0 -k 12 --trace-out run.jsonl
     python -m repro detect data.csv -r 2.0 -k 12 --workers 4 --transport shm
+    python -m repro detect data.csv -r 2.0 -k 12 --kernel python
     python -m repro detect data.csv -r 2.0 -k 12 --append day2.csv
     python -m repro detect data.csv -r 2.0 -k 12 --checkpoint-dir ckpt/
     python -m repro resume ckpt/
@@ -33,6 +34,7 @@ import numpy as np
 
 from . import data as datagen
 from .core import Dataset, detect_outliers, resolve_strategy
+from .kernels import KERNEL_CHOICES, KernelUnavailable, resolve_kernel
 from .mapreduce import (
     TRANSPORTS,
     ClusterConfig,
@@ -132,6 +134,12 @@ def _validate_runtime_flags(args) -> tuple[list, list]:
         )
     if args.timeout is not None and args.timeout <= 0:
         errors.append("--timeout must be positive")
+    try:
+        # Fail here, before any data is read, when the requested
+        # backend's optional dependency is missing.
+        resolve_kernel(getattr(args, "kernel", None))
+    except KernelUnavailable as exc:
+        errors.append(str(exc))
     if args.speculate and args.timeout is None and not errors:
         warnings.append(
             "warning: --speculate without --timeout: stragglers are "
@@ -233,12 +241,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     result = detect_outliers(
         dataset, params, strategy=args.strategy,
         detector=args.detector, cluster=cluster, seed=args.seed,
-        runtime=_build_runtime(args, cluster),
+        runtime=_build_runtime(args, cluster), kernel=args.kernel,
     )
     report = {
         "n_points": dataset.n,
         "params": {"r": params.r, "k": params.k},
         "strategy": result.strategy,
+        "kernel": resolve_kernel(args.kernel).name,
         "outliers": sorted(result.outlier_ids),
         "n_outliers": len(result.outlier_ids),
         "detector_usage": result.run.detector_usage,
@@ -282,7 +291,7 @@ def _run_checkpointed_cli(args, checkpoint_dir: str) -> int:
             dataset, params, checkpoint_dir,
             strategy=args.strategy, detector=args.detector,
             runtime=_build_runtime(args, cluster), cluster=cluster,
-            seed=args.seed,
+            seed=args.seed, kernel=args.kernel,
             manifest_extra={
                 "input": args.input,
                 "with_ids": bool(args.with_ids),
@@ -352,6 +361,7 @@ def _streaming_detector(args, params, cluster):
         cluster=cluster,
         drift_threshold=args.drift_threshold,
         seed=args.seed,
+        kernel=args.kernel,
     )
 
 
@@ -430,6 +440,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 strategy=args.strategy, detector=args.detector,
                 runtime=_build_runtime(args, cluster), cluster=cluster,
                 drift_threshold=args.drift_threshold, seed=args.seed,
+                kernel=args.kernel,
             )
         except ValueError as exc:
             raise CLIError(str(exc)) from exc
@@ -640,6 +651,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["base_n"] = args.base_n
     if args.detectors:
         overrides["detectors"] = tuple(args.detectors.split(","))
+    if args.kernels:
+        overrides["kernels"] = tuple(args.kernels.split(","))
     if args.quick:
         config = BenchConfig.quick(**overrides)
     else:
@@ -658,6 +671,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{detector}: shm dispatch {ratio:.2f}x cheaper per "
                 f"task than pickle; identical outliers: "
                 f"{entry['identical_outliers']}"
+            )
+        kernel_ratio = entry.get("kernel_speedup_ratio")
+        if kernel_ratio is not None:
+            print(
+                f"{detector}: numpy kernel {kernel_ratio:.2f}x faster "
+                "per reduce task than the python oracle"
             )
 
     if args.check:
@@ -757,6 +776,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="when a task exhausts its attempts: fail the "
                             "run, or skip its partition with a warning")
 
+    def add_kernel_flag(p):
+        p.add_argument("--kernel", choices=list(KERNEL_CHOICES),
+                       default=None,
+                       help="distance backend for scan-based detectors "
+                            "('python' scalar oracle, 'numpy' vectorized "
+                            "default, 'numba' optional JIT); results are "
+                            "identical, only wall time changes "
+                            "(default: auto = $REPRO_KERNEL or numpy)")
+
     det = sub.add_parser("detect", help="run the detection pipeline")
     add_common(det)
     det.add_argument("--detector", default="nested_loop")
@@ -779,6 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "resume DIR' (replays committed partitions, "
                           "re-runs only the rest)")
     add_runtime_flags(det)
+    add_kernel_flag(det)
     det.set_defaults(func=_cmd_detect)
 
     resume = sub.add_parser(
@@ -791,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("-o", "--output",
                         help="write JSON report here")
     add_runtime_flags(resume)
+    add_kernel_flag(resume)
     resume.set_defaults(func=_cmd_resume)
 
     stream = sub.add_parser(
@@ -818,6 +848,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "it stopped (corrupt snapshots fall back "
                              "to a clean start)")
     add_runtime_flags(stream)
+    add_kernel_flag(stream)
     stream.set_defaults(func=_cmd_stream)
 
     clean = sub.add_parser(
@@ -878,6 +909,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base dataset size (region generator)")
     bench.add_argument("--detectors", default=None,
                        help="comma-separated detector list")
+    bench.add_argument("--kernels", default=None,
+                       help="comma-separated kernel backends for the "
+                            "serial kernel axis (default python,numpy)")
     bench.add_argument("-o", "--output", default=None,
                        help="output path (default BENCH_<label>.json)")
     bench.add_argument("--check", metavar="BASELINE",

@@ -48,6 +48,29 @@ _MAP_RECORD_COST = 1.0
 _MAP_EMIT_COST = 1.0
 
 
+def _charge_kernel_counters(ctx: TaskContext, result) -> None:
+    """Roll a detection result's kernel work into the ``kernel`` counter
+    group — the distance-backend twin of the runtime's ``transport``
+    group: which backend ran, what it charged (scalar-faithful evals),
+    and what it actually computed (tile overshoot included)."""
+    extras = result.extras
+    if "kernel" not in extras:
+        return  # index-structure detectors (kdtree, pivot) bypass the ABI
+    ctx.counters.incr("kernel", f"backend_{extras['kernel']}")
+    ctx.counters.incr("kernel", "tasks")
+    ctx.counters.incr(
+        "kernel", "evals_charged", int(result.distance_evals)
+    )
+    ctx.counters.incr(
+        "kernel", "evals_computed",
+        int(extras.get("kernel_evals_computed", 0)),
+    )
+    # Deliberately no wall time here: counters must stay deterministic
+    # (the transport-equivalence suite compares them bit-for-bit).  The
+    # bench harness measures backend wall by threading a shared Kernel
+    # instance through serial runs and reading Kernel.wall_seconds.
+
+
 @dataclass
 class DetectionRun:
     """Result of a distributed detection run."""
@@ -133,10 +156,12 @@ class _DODReducer(Reducer):
         params: OutlierParams,
         algorithm_plan: Dict[int, Optional[str]],
         default_algorithm: str,
+        kernel: Optional[str] = None,
     ) -> None:
         self.params = params
         self.algorithm_plan = algorithm_plan
         self.default_algorithm = default_algorithm
+        self.kernel = kernel
 
     def reduce(self, key, values, ctx: TaskContext):
         core_ids: List[int] = []
@@ -153,7 +178,9 @@ class _DODReducer(Reducer):
         algorithm = self.algorithm_plan.get(key) or self.default_algorithm
         # Seeded per partition: partitions must not share one scan
         # permutation (correlated early-termination across reducers).
-        detector = make_partition_detector(algorithm, key)
+        detector = make_partition_detector(
+            algorithm, key, kernel=self.kernel
+        )
         ndim = len(core_pts[0])
         result = detector.run(
             np.asarray(core_pts),
@@ -171,6 +198,7 @@ class _DODReducer(Reducer):
         ctx.counters.incr(
             "dod", "distance_evals", int(result.distance_evals)
         )
+        _charge_kernel_counters(ctx, result)
         for outlier_id in result.outlier_ids:
             yield outlier_id
 
@@ -178,8 +206,13 @@ class _DODReducer(Reducer):
 class DODFramework:
     """The single-pass framework: one MapReduce job end to end."""
 
-    def __init__(self, default_algorithm: str = "nested_loop") -> None:
+    def __init__(
+        self,
+        default_algorithm: str = "nested_loop",
+        kernel: Optional[str] = None,
+    ) -> None:
         self.default_algorithm = default_algorithm
+        self.kernel = kernel
 
     def run(
         self,
@@ -198,7 +231,8 @@ class DODFramework:
             name=f"dod-detect-{plan.strategy}",
             mapper=_DODMapper(plan, params.r),
             reducer=_DODReducer(
-                params, plan.algorithm_plan, self.default_algorithm
+                params, plan.algorithm_plan, self.default_algorithm,
+                kernel=self.kernel,
             ),
             n_reducers=n_reducers,
             partitioner=partitioner,
@@ -267,15 +301,19 @@ class _LocalDetectReducer(Reducer):
         plan: PartitionPlan,
         params: OutlierParams,
         algorithm: str,
+        kernel: Optional[str] = None,
     ) -> None:
         self.plan = plan
         self.params = params
         self.algorithm = algorithm
+        self.kernel = kernel
 
     def reduce(self, key, values, ctx: TaskContext):
         ids = np.asarray([v[0] for v in values], dtype=np.int64)
         pts = np.asarray([v[1] for v in values], dtype=float)
-        detector = make_partition_detector(self.algorithm, key)
+        detector = make_partition_detector(
+            self.algorithm, key, kernel=self.kernel
+        )
         result = detector.run(
             pts, ids, np.empty((0, pts.shape[1])), self.params
         )
@@ -286,6 +324,7 @@ class _LocalDetectReducer(Reducer):
         ctx.counters.incr(
             "dod", "distance_evals", int(result.distance_evals)
         )
+        _charge_kernel_counters(ctx, result)
         local_outliers = set(result.outlier_ids)
 
         # Exact local counts for the local outliers only (one scan each).
@@ -375,8 +414,13 @@ class _ConfirmReducer(Reducer):
 class DomainBaseline:
     """The two-job Domain pipeline (exact, but pays a second pass)."""
 
-    def __init__(self, default_algorithm: str = "nested_loop") -> None:
+    def __init__(
+        self,
+        default_algorithm: str = "nested_loop",
+        kernel: Optional[str] = None,
+    ) -> None:
         self.default_algorithm = default_algorithm
+        self.kernel = kernel
 
     def run(
         self,
@@ -389,7 +433,9 @@ class DomainBaseline:
         job1 = MapReduceJob(
             name="domain-detect-local",
             mapper=_LocalOnlyMapper(plan),
-            reducer=_LocalDetectReducer(plan, params, self.default_algorithm),
+            reducer=_LocalDetectReducer(
+                plan, params, self.default_algorithm, kernel=self.kernel
+            ),
             n_reducers=n_reducers,
         )
         result1 = runtime.run(job1, input_data)

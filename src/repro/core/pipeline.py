@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..kernels import resolve_kernel
 from ..mapreduce import ClusterConfig, LocalRuntime
 from ..observability import RunReport, Span, Tracer
 from ..params import JOB_STARTUP_SECONDS, UNIT_SECONDS
@@ -180,11 +181,16 @@ def detect_outliers(
     seed: int = 1,
     plan=None,
     tracer: Optional[Tracer] = None,
+    kernel: Optional[str] = None,
 ) -> PipelineResult:
     """Detect all distance-threshold outliers in ``dataset``.
 
     ``detector`` is the default centralized algorithm; plans that carry
     their own algorithm plan (CDriven, DMT) override it per partition.
+    ``kernel`` picks the distance backend every scan-based detector runs
+    on (``"python"``/``"numpy"``/``"numba"``; ``None`` resolves to the
+    default) — results are backend-independent by the kernel ABI's
+    exactness contract, only wall time changes.
     Sizing defaults adapt to the dataset: ``n_reducers`` from the cluster
     (capped at 64 in-process), ``n_partitions`` = 2x reducers,
     ``n_buckets`` ~ n/20 mini buckets (within [64, 1024]), and
@@ -204,6 +210,9 @@ def detect_outliers(
     already carries its own tracer keeps it.
     """
     cluster = cluster or ClusterConfig()
+    # Resolve eagerly: an unavailable backend (numba without numba) must
+    # fail here with a clear error, not inside a reducer subprocess.
+    kernel_name = resolve_kernel(kernel).name
     runtime = runtime or LocalRuntime(cluster)
     tracer = tracer or runtime.tracer or Tracer()
     if n_reducers is None:
@@ -244,12 +253,16 @@ def detect_outliers(
 
             start = time.perf_counter()
             if uses_support:
-                framework = DODFramework(default_algorithm=detector)
+                framework = DODFramework(
+                    default_algorithm=detector, kernel=kernel
+                )
                 run = framework.run(
                     runtime, records, plan, params, n_reducers
                 )
             else:
-                baseline = DomainBaseline(default_algorithm=detector)
+                baseline = DomainBaseline(
+                    default_algorithm=detector, kernel=kernel
+                )
                 run = baseline.run(
                     runtime, records, plan, params, n_reducers
                 )
@@ -267,6 +280,7 @@ def detect_outliers(
                     )
             run_span.annotate(
                 strategy=strategy_name,
+                kernel=kernel_name,
                 n_outliers=len(run.outlier_ids),
             )
     finally:

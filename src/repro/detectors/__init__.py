@@ -21,13 +21,22 @@ DETECTOR_REGISTRY = {
 
 
 def make_detector(name: str, **kwargs) -> Detector:
-    """Instantiate a detector by registry name."""
+    """Instantiate a detector by registry name.
+
+    A ``kernel`` keyword selects the distance backend for scan-based
+    detectors (``Detector.uses_kernel``); detectors with their own index
+    structures (kdtree, pivot) ignore it, so one kernel spec can be
+    threaded through a whole run regardless of the per-partition
+    algorithm plan.
+    """
     try:
         cls = DETECTOR_REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown detector {name!r}; known: {sorted(DETECTOR_REGISTRY)}"
         ) from None
+    if "kernel" in kwargs and not cls.uses_kernel:
+        kwargs = {k: v for k, v in kwargs.items() if k != "kernel"}
     return cls(**kwargs)
 
 
@@ -47,13 +56,16 @@ def partition_scan_seed(partition_id: int, base_seed: int = 7) -> int:
 
 
 def make_partition_detector(
-    name: str, partition_id: int, **kwargs
+    name: str, partition_id: int, kernel=None, **kwargs
 ) -> Detector:
     """Instantiate a detector seeded for one partition.
 
     Detectors without a ``seed`` attribute (deterministic scan orders)
-    are returned unchanged.
+    are returned unchanged.  ``kernel`` threads the distance backend to
+    scan-based detectors (ignored by the others).
     """
+    if kernel is not None:
+        kwargs = {**kwargs, "kernel": kernel}
     detector = make_detector(name, **kwargs)
     if hasattr(detector, "seed") and "seed" not in kwargs:
         detector.seed = partition_scan_seed(

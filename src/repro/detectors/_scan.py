@@ -1,22 +1,27 @@
 """Shared chunked random-order scan with early termination.
 
 Both Nested-Loop and the fallback phase of Cell-Based evaluate "distances
-in random order until k neighbors are found" — this module implements that
-scan once.
+in random order until k neighbors are found" — this module implements
+that scan once: it fixes the random permutation, then delegates the
+actual early-exit counting to a pluggable distance kernel
+(:mod:`repro.kernels`).
 
-Execution is vectorized over candidate chunks, but the reported
-``distance_evals`` are *scalar-faithful*: for every query that terminates,
-the exact number of candidates a scalar implementation would have examined
-before finding its ``need``-th match (its position in the random
-permutation) is charged — not the chunk-rounded amount this implementation
-happened to compute.  That keeps the deterministic cost accounting aligned
-with Lemma 4.1's execution model, which is also what the cost-based
-planners assume.
+Whatever backend runs, the reported ``distance_evals`` are
+*scalar-faithful*: for every query that terminates, the exact number of
+candidates a scalar implementation would have examined before finding its
+``need``-th match (its position in the random permutation) is charged —
+not whatever tile-rounded amount the backend happened to compute.  That
+keeps the deterministic cost accounting aligned with Lemma 4.1's
+execution model, which is also what the cost-based planners assume — and
+it is what makes backends interchangeable: ``python``, ``numpy``, and
+``numba`` all return byte-identical ``(counts, distance_evals)``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..kernels import resolve_kernel
 
 __all__ = ["random_scan_counts"]
 
@@ -28,46 +33,29 @@ def random_scan_counts(
     need: int,
     chunk: int = 256,
     seed: int = 7,
+    kernel=None,
 ) -> tuple[np.ndarray, int]:
     """Count neighbors of each query among ``candidates`` scanned in a
     random order, stopping per query once ``need`` matches are found.
 
-    Returns ``(counts, distance_evals)``.  ``counts[i] >= need`` means the
-    query terminated early and its count is a lower bound; counts below
-    ``need`` are exact.  Self-matches are NOT handled here — callers whose
-    queries appear in ``candidates`` should ask for one extra match.
+    Returns ``(counts, distance_evals)``.  ``counts[i] == need`` means
+    the query terminated early (the scalar stop count); counts below
+    ``need`` are exact totals.  Self-matches are NOT handled here —
+    callers whose queries appear in ``candidates`` should ask for one
+    extra match.
+
+    ``kernel`` picks the distance backend: a name, a ready
+    :class:`~repro.kernels.Kernel` instance (reused, so its stats
+    aggregate), or ``None`` for the resolved default.  ``chunk`` is the
+    tile width for batched backends constructed here.
     """
     queries = np.asarray(queries, dtype=float)
     candidates = np.asarray(candidates, dtype=float)
     n_q = queries.shape[0]
-    counts = np.zeros(n_q, dtype=np.int64)
-    if n_q == 0 or candidates.shape[0] == 0:
-        return counts, 0
+    if n_q == 0 or candidates.shape[0] == 0 or need <= 0:
+        return np.zeros(n_q, dtype=np.int64), 0
 
     rng = np.random.default_rng(seed)
     order = rng.permutation(candidates.shape[0])
-    candidates = candidates[order]
-
-    r2 = r * r
-    undecided = np.arange(n_q)
-    distance_evals = 0
-    for start in range(0, candidates.shape[0], chunk):
-        if undecided.size == 0:
-            break
-        block = candidates[start:start + chunk]
-        q = queries[undecided]
-        d2 = np.sum((q[:, None, :] - block[None, :, :]) ** 2, axis=2)
-        within = d2 <= r2
-        cumulative = counts[undecided, None] + np.cumsum(within, axis=1)
-        reached = cumulative >= need
-        decided_here = reached[:, -1]
-        # Scalar-faithful accounting: a decided query examined candidates
-        # up to (and including) the one where its cumulative count hit
-        # ``need``; an undecided query examined the whole block.
-        if decided_here.any():
-            stop_at = reached[decided_here].argmax(axis=1) + 1
-            distance_evals += int(stop_at.sum())
-        distance_evals += int((~decided_here).sum()) * block.shape[0]
-        counts[undecided] += within.sum(axis=1)
-        undecided = undecided[~decided_here]
-    return counts, distance_evals
+    backend = resolve_kernel(kernel, tile=chunk)
+    return backend.count_neighbors(queries, candidates[order], r, need)

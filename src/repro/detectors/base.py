@@ -82,6 +82,11 @@ class Detector(abc.ABC):
     #: Short identifier used in algorithm plans ("nested_loop", ...).
     name: str = "detector"
 
+    #: True for detectors whose inner loop runs on the pluggable
+    #: distance-kernel ABI (:mod:`repro.kernels`) and therefore accept a
+    #: ``kernel`` constructor argument.
+    uses_kernel: bool = False
+
     @abc.abstractmethod
     def detect(
         self,
@@ -115,6 +120,8 @@ class Detector(abc.ABC):
             n_support=int(np.asarray(support_points).shape[0]),
         )
         result = self.detect(core_points, core_ids, support_points, params)
+        if "kernel" in result.extras:
+            span.annotate(kernel=result.extras["kernel"])
         span.finish(
             n_outliers=len(result.outlier_ids),
             distance_evals=result.distance_evals,

@@ -36,6 +36,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from ..kernels import resolve_kernel
 from ..params import OutlierParams
 from ._scan import random_scan_counts
 from .base import DetectionResult, Detector, validate_partition_inputs
@@ -85,10 +86,14 @@ class CellBasedDetector(Detector):
     """Paper-faithful Cell-Based: prune cells, Nested-Loop the rest."""
 
     name = "cell_based"
+    uses_kernel = True
 
-    def __init__(self, chunk: int = 256, seed: int = 7) -> None:
+    def __init__(
+        self, chunk: int = 256, seed: int = 7, kernel=None
+    ) -> None:
         self.chunk = chunk
         self.seed = seed
+        self.kernel = kernel
 
     def detect(
         self,
@@ -138,12 +143,15 @@ class CellBasedDetector(Detector):
             stats["cells_unresolved"] += 1
             unresolved_rows.extend(members)
 
+        backend = resolve_kernel(self.kernel, tile=self.chunk)
+        computed_before = backend.evals_computed
+        wall_before = backend.wall_seconds
         distance_evals = 0
         if unresolved_rows:
             rows = np.asarray(unresolved_rows, dtype=np.int64)
             counts, distance_evals = random_scan_counts(
                 core_points[rows], all_points, params.r, k + 1,
-                chunk=self.chunk, seed=self.seed,
+                chunk=self.chunk, seed=self.seed, kernel=backend,
             )
             outliers.extend(
                 int(core_ids[row])
@@ -157,7 +165,13 @@ class CellBasedDetector(Detector):
             index_ops=index_ops,
             cell_ops=len(core_cells),
             extras={"cells": len(index.counts),
-                    "unresolved_points": len(unresolved_rows), **stats},
+                    "unresolved_points": len(unresolved_rows),
+                    "kernel": backend.name,
+                    "kernel_evals_computed":
+                        backend.evals_computed - computed_before,
+                    "kernel_wall_seconds":
+                        backend.wall_seconds - wall_before,
+                    **stats},
         )
 
 
@@ -170,6 +184,11 @@ class CellBasedRingDetector(Detector):
     """
 
     name = "cell_based_ring"
+    uses_kernel = True
+
+    def __init__(self, chunk: int = 256, kernel=None) -> None:
+        self.chunk = chunk
+        self.kernel = kernel
 
     def detect(
         self,
@@ -194,7 +213,9 @@ class CellBasedRingDetector(Detector):
         index = _CellIndex(all_points, side)
         index_ops = all_points.shape[0]
         k = params.k
-        r2 = params.r * params.r
+        backend = resolve_kernel(self.kernel, tile=self.chunk)
+        computed_before = backend.evals_computed
+        wall_before = backend.wall_seconds
         stencil_l1 = _stencil(ndim, 1)
         r_cand = candidate_radius(ndim)
         ring_stencil = [
@@ -240,24 +261,30 @@ class CellBasedRingDetector(Detector):
                 if ring_rows
                 else np.empty((0, ndim))
             )
+            # One kernel call per unresolved cell: every member starts
+            # from the same guaranteed L1 count, so they share one
+            # ``need`` and scan the same deterministic ring order.
             guaranteed = w1 - 1
-            for i in members:
-                found = guaranteed
-                p = core_points[i]
-                for start in range(0, ring.shape[0], 256):
-                    block = ring[start:start + 256]
-                    d2 = np.sum((block - p) ** 2, axis=1)
-                    distance_evals += block.shape[0]
-                    found += int((d2 <= r2).sum())
-                    if found >= k:
-                        break
-                if found < k:
-                    outliers.append(int(core_ids[i]))
+            counts, evals = backend.count_neighbors(
+                core_points[members], ring, params.r, k - guaranteed
+            )
+            distance_evals += evals
+            outliers.extend(
+                int(core_ids[i])
+                for i, count in zip(members, counts)
+                if guaranteed + count < k
+            )
 
         return DetectionResult(
             outlier_ids=outliers,
             distance_evals=distance_evals,
             index_ops=index_ops,
             cell_ops=len(core_cells),
-            extras={"cells": len(index.counts), **stats},
+            extras={"cells": len(index.counts),
+                    "kernel": backend.name,
+                    "kernel_evals_computed":
+                        backend.evals_computed - computed_before,
+                    "kernel_wall_seconds":
+                        backend.wall_seconds - wall_before,
+                    **stats},
         )

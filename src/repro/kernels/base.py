@@ -1,0 +1,121 @@
+"""The distance-kernel ABI: one narrow contract every backend satisfies.
+
+A *kernel* evaluates one block of query points against one block of
+candidate points under the early-exit-at-``need`` scan semantics of
+Lemma 4.1 — the inner loop every scan-based detector (Nested-Loop, the
+Cell-Based fallback, the ring fallback) spends its time in.  Keeping the
+contract this narrow is what lets backends swap freely: the scalar
+``python`` oracle, the tiled ``numpy`` backend, and the optional compiled
+``numba`` backend must all be *observationally identical* — same counts,
+same ``distance_evals`` — so switching backends can only ever change wall
+time, never results or deterministic cost accounting.
+
+Contract (enforced by :meth:`Kernel.count_neighbors`, verified by the
+differential suite in ``tests/test_kernel_equivalence.py``):
+
+* Candidates are examined **in the order given**.  Callers that need the
+  random-order scan permute candidates first (``repro.detectors._scan``).
+* For each query the scan behaves like the scalar loop: examine
+  candidates one at a time, increment the running count on each match
+  (``d <= r``), and stop *immediately* when the count reaches ``need``.
+* ``counts[i]`` is the running count at the moment the scan stopped:
+  exactly ``need`` for early-terminated queries, the exact total
+  (``< need``) otherwise.  Equivalently ``min(total_matches, need)``.
+* ``distance_evals`` charges each query the number of candidates a
+  scalar loop would have examined: the 1-based position of its
+  ``need``-th match, or the full candidate count if it never terminated.
+  Backends may *compute* more distances than they charge (tile rounding);
+  the overshoot is reported separately as ``evals_computed``.
+* ``need <= 0`` means every query is decided before examining anything:
+  zero counts, zero evals.  Empty query or candidate blocks likewise
+  charge nothing.
+
+Instances additionally accumulate ``calls`` / ``evals_charged`` /
+``evals_computed`` / ``wall_seconds`` across calls, which the detectors
+surface in result extras and the reducers roll into the ``kernel``
+counter group.  ``wall_seconds`` times only the backend body, so the
+bench harness can compare backends on exactly the work they vectorize.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+import numpy as np
+
+__all__ = ["Kernel", "KernelUnavailable"]
+
+
+class KernelUnavailable(RuntimeError):
+    """The requested backend cannot run here (missing optional dep)."""
+
+
+class Kernel(abc.ABC):
+    """One distance-kernel backend.
+
+    ``tile`` is the vectorization width (candidates per tile) for batched
+    backends; scalar backends accept and ignore it so every backend can be
+    constructed uniformly.
+    """
+
+    #: Registry name ("python", "numpy", "numba").
+    name: str = "kernel"
+
+    def __init__(self, tile: int = 256) -> None:
+        if tile < 1:
+            raise ValueError("tile must be >= 1")
+        self.tile = tile
+        self.calls = 0
+        self.evals_charged = 0
+        self.evals_computed = 0
+        self.wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def count_neighbors(
+        self,
+        queries: np.ndarray,
+        candidates: np.ndarray,
+        r: float,
+        need: int,
+    ) -> tuple[np.ndarray, int]:
+        """Scan ``candidates`` (in order) for each query; early exit at
+        ``need`` matches.  Returns ``(counts, distance_evals)`` under the
+        module-level contract."""
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        candidates = np.ascontiguousarray(candidates, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValueError("queries must be (n, d)")
+        if candidates.ndim != 2 or (
+            candidates.shape[0] and candidates.shape[1] != queries.shape[1]
+        ):
+            raise ValueError("candidates must be (m, d) with matching d")
+        n_q = queries.shape[0]
+        counts = np.zeros(n_q, dtype=np.int64)
+        self.calls += 1
+        # A scalar loop checks "found >= need" before each evaluation, so
+        # need <= 0 (or nothing to scan) terminates without charging a
+        # single distance — the partial-block accounting fix of ISSUE 6.
+        if need <= 0 or n_q == 0 or candidates.shape[0] == 0:
+            return counts, 0
+        start = time.perf_counter()
+        counts, charged, computed = self._count(
+            queries, candidates, float(r), int(need)
+        )
+        self.wall_seconds += time.perf_counter() - start
+        self.evals_charged += charged
+        self.evals_computed += computed
+        return counts, charged
+
+    @abc.abstractmethod
+    def _count(
+        self,
+        queries: np.ndarray,
+        candidates: np.ndarray,
+        r: float,
+        need: int,
+    ) -> tuple[np.ndarray, int, int]:
+        """Backend body; inputs are validated, non-empty, ``need >= 1``.
+
+        Returns ``(counts, evals_charged, evals_computed)``.
+        """

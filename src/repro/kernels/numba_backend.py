@@ -1,0 +1,92 @@
+"""The ``numba`` backend: the scalar loop, JIT-compiled (optional).
+
+numba is a *feature-flagged* dependency — it is never imported at package
+import time, only when a :class:`NumbaKernel` is actually constructed, and
+a missing installation raises :class:`~repro.kernels.base.KernelUnavailable`
+with remediation instead of an ImportError.  ``repro.kernels`` therefore
+works identically with or without numba installed; the ``no-numba`` CI job
+proves the degradation path stays clean.
+
+The compiled body is the :class:`~repro.kernels.python_backend.PythonKernel`
+loop verbatim, so charged evals equal computed evals and the differential
+suite can hold it to the same oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Kernel, KernelUnavailable
+
+__all__ = ["NumbaKernel", "numba_available"]
+
+_scan_jit = None  # compiled lazily, cached at module level
+
+
+def numba_available() -> bool:
+    """True iff the optional numba dependency can be imported."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _compiled_scan():
+    global _scan_jit
+    if _scan_jit is None:
+        try:
+            import numba
+        except ImportError as exc:
+            raise KernelUnavailable(
+                "kernel 'numba' needs the optional numba package "
+                "(pip install 'repro[numba]'); the 'numpy' backend is "
+                "the drop-in default"
+            ) from exc
+
+        @numba.njit(cache=False)
+        def scan(queries, candidates, r2, need):
+            n_q = queries.shape[0]
+            n_c = candidates.shape[0]
+            ndim = queries.shape[1]
+            counts = np.zeros(n_q, dtype=np.int64)
+            evals = 0
+            for i in range(n_q):
+                found = 0
+                for j in range(n_c):
+                    evals += 1
+                    acc = 0.0
+                    for t in range(ndim):
+                        diff = queries[i, t] - candidates[j, t]
+                        acc += diff * diff
+                    if acc <= r2:
+                        found += 1
+                        if found >= need:
+                            break
+                counts[i] = found
+            return counts, evals
+
+        _scan_jit = scan
+    return _scan_jit
+
+
+class NumbaKernel(Kernel):
+    """JIT-compiled scalar scan; raises ``KernelUnavailable`` without
+    numba installed (construction-time, so failures are early and
+    actionable)."""
+
+    name = "numba"
+
+    def __init__(self, tile: int = 256) -> None:
+        super().__init__(tile=tile)
+        self._scan = _compiled_scan()
+
+    def _count(
+        self,
+        queries: np.ndarray,
+        candidates: np.ndarray,
+        r: float,
+        need: int,
+    ) -> tuple[np.ndarray, int, int]:
+        counts, evals = self._scan(queries, candidates, r * r, need)
+        return counts, int(evals), int(evals)

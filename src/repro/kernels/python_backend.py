@@ -1,0 +1,52 @@
+"""The ``python`` backend: the scalar reference loop, kept as the oracle.
+
+This is deliberately the dumbest possible implementation of the contract
+in :mod:`repro.kernels.base` — one query at a time, one candidate at a
+time, plain float arithmetic — because its job is to *define* the
+semantics the batched backends must reproduce byte for byte.  The
+differential CI job diffs every other backend against this one; its
+slowness is also what the bench harness's kernel axis measures the
+``numpy`` speedup against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Kernel
+
+__all__ = ["PythonKernel"]
+
+
+class PythonKernel(Kernel):
+    """Scalar per-point scan; charged evals equal computed evals."""
+
+    name = "python"
+
+    def _count(
+        self,
+        queries: np.ndarray,
+        candidates: np.ndarray,
+        r: float,
+        need: int,
+    ) -> tuple[np.ndarray, int, int]:
+        r2 = r * r
+        counts = np.zeros(queries.shape[0], dtype=np.int64)
+        evals = 0
+        cand_rows = candidates.tolist()
+        for i, q in enumerate(queries.tolist()):
+            found = 0
+            examined = 0
+            for row in cand_rows:
+                examined += 1
+                acc = 0.0
+                for a, b in zip(q, row):
+                    diff = a - b
+                    acc += diff * diff
+                if acc <= r2:
+                    found += 1
+                    if found >= need:
+                        break
+            counts[i] = found
+            evals += examined
+        return counts, evals, evals

@@ -132,6 +132,7 @@ def run_checkpointed(
     tracer: Optional[Tracer] = None,
     abort_after_commits: Optional[int] = None,
     manifest_extra: Optional[dict] = None,
+    kernel: Optional[str] = None,
 ) -> CheckpointedResult:
     """Detect outliers with durable per-partition commits.
 
@@ -143,6 +144,10 @@ def run_checkpointed(
     ``manifest_extra`` is stored verbatim in the manifest for tooling
     (the CLI keeps the input path there so ``repro resume`` can reload
     it); it does not participate in run-identity validation.
+    ``kernel`` picks the distance backend; it is deliberately *not* part
+    of the manifest's run identity (backends are observationally
+    identical by the kernel ABI's exactness contract), so a checkpoint
+    written under one backend resumes cleanly under another.
     """
     strategy = resolve_strategy(strategy)
     cluster = cluster or ClusterConfig()
@@ -179,7 +184,7 @@ def run_checkpointed(
                 dataset, params, checkpoint_dir, journal_path, strategy,
                 detector, runtime, n_reducers, n_partitions, seed,
                 config, counters, run_span, abort_after_commits,
-                manifest_extra,
+                manifest_extra, kernel,
             )
             run_span.annotate(
                 resumed=result.resumed,
@@ -197,7 +202,7 @@ def run_checkpointed(
 def _run(
     dataset, params, checkpoint_dir, journal_path, strategy, detector,
     runtime, n_reducers, n_partitions, seed, config, counters, run_span,
-    abort_after_commits, manifest_extra,
+    abort_after_commits, manifest_extra, kernel,
 ):
     plan, resumed = _load_or_build_plan(
         dataset, params, checkpoint_dir, journal_path, strategy,
@@ -241,7 +246,7 @@ def _run(
             jobs = _detect_pending(
                 pending, partition_records, plan, params, detector,
                 runtime, n_reducers, journal, counters, run_span,
-                outliers_by_pid,
+                outliers_by_pid, kernel,
             )
     for job in jobs:
         counters.merge(job.counters)
@@ -364,7 +369,7 @@ def _replay_journal(journal_path, plan, counters, run_span):
 
 def _detect_pending(
     pending, partition_records, plan, params, detector, runtime,
-    n_reducers, journal, counters, run_span, outliers_by_pid,
+    n_reducers, journal, counters, run_span, outliers_by_pid, kernel,
 ):
     """Run the routed detection job over uncommitted partitions,
     journaling each reduce task's partitions as the task commits."""
@@ -396,7 +401,7 @@ def _detect_pending(
         name=f"ckpt-detect-{plan.strategy}",
         mapper=_RoutedMapper(),
         reducer=_StreamDODReducer(
-            params, plan.algorithm_plan, detector
+            params, plan.algorithm_plan, detector, kernel=kernel
         ),
         n_reducers=len(alloc.bin_loads),
         partitioner=DictPartitioner(table),

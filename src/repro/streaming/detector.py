@@ -155,6 +155,7 @@ class StreamingDetector:
         drift_threshold: float = 0.25,
         seed: int = 1,
         tracer: Optional[Tracer] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.params = params
         self.strategy = resolve_strategy(strategy)
@@ -165,6 +166,7 @@ class StreamingDetector:
                 "instead and cannot localize a batch's effect"
             )
         self.detector = detector
+        self.kernel = kernel
         self.cluster = cluster or ClusterConfig()
         self.runtime = runtime or LocalRuntime(self.cluster)
         self.n_reducers = (
@@ -442,7 +444,8 @@ class StreamingDetector:
             name=f"stream-detect-{plan.strategy}",
             mapper=_RoutedMapper(),
             reducer=_StreamDODReducer(
-                self.params, plan.algorithm_plan, self.detector
+                self.params, plan.algorithm_plan, self.detector,
+                kernel=self.kernel,
             ),
             n_reducers=len(alloc.bin_loads),
             partitioner=DictPartitioner(table),
@@ -505,6 +508,7 @@ class StreamingDetector:
             },
             "strategy": self.strategy.name,
             "detector": self.detector,
+            "kernel": self.kernel,
             "seed": int(self.seed),
             "drift_threshold": float(self.drift_threshold),
             "n_partitions": int(self.n_partitions),
@@ -556,6 +560,7 @@ class StreamingDetector:
             ),
             strategy=payload["strategy"],
             detector=payload["detector"],
+            kernel=payload.get("kernel"),
             runtime=runtime,
             cluster=cluster,
             n_partitions=payload["n_partitions"],
@@ -615,8 +620,14 @@ class StreamingDetector:
         drift_threshold: float = 0.25,
         seed: int = 1,
         tracer: Optional[Tracer] = None,
+        kernel: Optional[str] = None,
     ) -> "StreamingDetector":
         """Load a snapshot if one is trustworthy, else start fresh.
+
+        ``kernel`` is *not* part of the snapshot's identity — backends
+        are observationally identical by the ABI contract — so a
+        restored stream adopts the requested kernel (falling back to the
+        snapshot's recorded one when ``None``).
 
         The degradation policy of the recovery layer, applied to
         streams: a missing snapshot silently starts a fresh detector
@@ -642,7 +653,7 @@ class StreamingDetector:
                     runtime=runtime, cluster=cluster,
                     n_partitions=n_partitions, n_reducers=n_reducers,
                     drift_threshold=drift_threshold, seed=seed,
-                    tracer=tracer,
+                    tracer=tracer, kernel=kernel,
                 )
             warnings.warn(
                 f"streaming snapshot unusable ({exc}); starting the "
@@ -655,7 +666,7 @@ class StreamingDetector:
                 runtime=runtime, cluster=cluster,
                 n_partitions=n_partitions, n_reducers=n_reducers,
                 drift_threshold=drift_threshold, seed=seed,
-                tracer=tracer,
+                tracer=tracer, kernel=kernel,
             )
             fresh.counters.incr("recovery", "snapshot_fallbacks")
             span = Span.begin(
@@ -680,4 +691,6 @@ class StreamingDetector:
                 f"{requested}; pass matching parameters or a fresh "
                 "snapshot path"
             )
+        if kernel is not None:
+            loaded.kernel = kernel
         return loaded

@@ -42,15 +42,17 @@ class TestBenchConfig:
 class TestRunBench:
     def test_matrix_shape(self, tiny_result):
         runs = tiny_result["runs"]
-        # serial + one parallel cell per transport, per detector
+        # one serial cell per kernel + one parallel cell per transport,
+        # per detector
         assert len(runs) == len(TINY.detectors) * (
-            1 + len(TINY.transports)
+            len(TINY.kernels) + len(TINY.transports)
         )
-        kinds = {(r["runtime"], r["transport"]) for r in runs}
+        kinds = {(r["runtime"], r["transport"], r["kernel"]) for r in runs}
         assert kinds == {
-            ("serial", "inline"),
-            ("parallel", "pickle"),
-            ("parallel", "shm"),
+            ("serial", "inline", "python"),
+            ("serial", "inline", "numpy"),
+            ("parallel", "pickle", "numpy"),
+            ("parallel", "shm", "numpy"),
         }
 
     def test_deterministic_fields_agree_across_cells(self, tiny_result):
@@ -72,6 +74,20 @@ class TestRunBench:
         entry = tiny_result["derived"]["per_detector"]["nested_loop"]
         assert entry["dispatch_overhead_ratio"] > 0
         assert set(entry["dispatch_per_task_us"]) == {"pickle", "shm"}
+
+    def test_derived_has_kernel_speedup(self, tiny_result):
+        entry = tiny_result["derived"]["per_detector"]["nested_loop"]
+        assert set(entry["kernel_wall_per_task_us"]) == {
+            "python", "numpy"
+        }
+        assert entry["kernel_speedup_ratio"] > 0
+
+    def test_serial_cells_carry_kernel_wall(self, tiny_result):
+        for cell in tiny_result["runs"]:
+            if cell["runtime"] == "serial":
+                assert cell["kernel_wall_per_task_us"] > 0
+            else:
+                assert "kernel_wall_seconds" not in cell
 
 
 class TestCheckAgainst:
@@ -96,6 +112,38 @@ class TestCheckAgainst:
         # a *faster* shm path is an improvement, never a failure
         entry["dispatch_overhead_ratio"] = base * 10
         assert check_against(fresh, tiny_result, tolerance=0.25) == []
+
+    def test_kernel_ratio_regression_fails_one_sided(self, tiny_result):
+        fresh = copy.deepcopy(tiny_result)
+        entry = fresh["derived"]["per_detector"]["nested_loop"]
+        base = tiny_result["derived"]["per_detector"]["nested_loop"][
+            "kernel_speedup_ratio"
+        ]
+        entry["kernel_speedup_ratio"] = base * 0.5
+        problems = check_against(fresh, tiny_result, tolerance=0.25)
+        assert any("kernel_speedup_ratio" in p for p in problems)
+        # a faster numpy kernel is an improvement, never a failure
+        entry["kernel_speedup_ratio"] = base * 10
+        assert check_against(fresh, tiny_result, tolerance=0.25) == []
+
+    def test_kernel_ratio_absolute_floor(self, tiny_result):
+        from repro.bench import KERNEL_SPEEDUP_FLOOR
+
+        baseline = copy.deepcopy(tiny_result)
+        fresh = copy.deepcopy(tiny_result)
+        base_entry = baseline["derived"]["per_detector"]["nested_loop"]
+        run_entry = fresh["derived"]["per_detector"]["nested_loop"]
+        # Baseline proves the floor; the run sits just below it but
+        # within the relative tolerance -> the absolute floor catches it.
+        base_entry["kernel_speedup_ratio"] = KERNEL_SPEEDUP_FLOOR
+        run_entry["kernel_speedup_ratio"] = KERNEL_SPEEDUP_FLOOR - 0.2
+        problems = check_against(fresh, baseline, tolerance=0.25)
+        assert any("absolute floor" in p for p in problems)
+        # A baseline that never reached the floor only gets the
+        # relative check (toy workloads).
+        base_entry["kernel_speedup_ratio"] = 1.5
+        run_entry["kernel_speedup_ratio"] = 1.4
+        assert check_against(fresh, baseline, tolerance=0.25) == []
 
     def test_workload_mismatch_short_circuits(self, tiny_result):
         fresh = copy.deepcopy(tiny_result)

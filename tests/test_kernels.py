@@ -1,0 +1,215 @@
+"""Unit suite for the distance-kernel ABI (``repro.kernels``).
+
+Covers the contract edges every backend must agree on — empty blocks,
+``need <= 0``, ``need`` larger than the candidate set, duplicate points,
+single-column inputs — plus registry resolution, the numba feature gate,
+and the per-instance stat accounting the detectors and bench rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_CHOICES,
+    KERNEL_ENV,
+    KERNEL_REGISTRY,
+    Kernel,
+    KernelUnavailable,
+    NumpyKernel,
+    PythonKernel,
+    available_kernels,
+    kernel_available,
+    make_kernel,
+    numba_available,
+    resolve_kernel,
+)
+
+BACKENDS = ["python", "numpy"] + (
+    ["numba"] if numba_available() else []
+)
+
+
+@pytest.fixture(params=BACKENDS)
+def kernel(request):
+    return make_kernel(request.param)
+
+
+rng = np.random.default_rng(1234)
+Q = rng.uniform(0, 4, size=(12, 2))
+C = rng.uniform(0, 4, size=(40, 2))
+
+
+class TestRegistry:
+    def test_choices_cover_registry_plus_auto(self):
+        assert KERNEL_CHOICES[0] == "auto"
+        assert set(KERNEL_CHOICES[1:]) == set(KERNEL_REGISTRY)
+
+    def test_make_kernel_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_kernel("fortran")
+
+    def test_tile_must_be_positive(self):
+        with pytest.raises(ValueError, match="tile"):
+            make_kernel("numpy", tile=0)
+
+    def test_python_and_numpy_always_available(self):
+        assert kernel_available("python")
+        assert kernel_available("numpy")
+        assert "python" in available_kernels()
+        assert "numpy" in available_kernels()
+
+    def test_unknown_name_is_not_available(self):
+        assert not kernel_available("fortran")
+
+
+class TestResolution:
+    def test_instance_passthrough(self):
+        instance = make_kernel("python")
+        assert resolve_kernel(instance) is instance
+
+    def test_name_resolution(self):
+        assert resolve_kernel("python").name == "python"
+
+    def test_auto_falls_back_to_default(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel(None).name == DEFAULT_KERNEL
+        assert resolve_kernel("auto").name == DEFAULT_KERNEL
+
+    def test_auto_consults_environment(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "python")
+        assert resolve_kernel(None).name == "python"
+        assert resolve_kernel("auto").name == "python"
+        # An explicit spec always beats the environment.
+        assert resolve_kernel("numpy").name == "numpy"
+
+    def test_non_string_spec_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_kernel(42)
+
+
+class TestNumbaGate:
+    def test_numba_listed_but_gated(self):
+        assert "numba" in KERNEL_REGISTRY
+        assert kernel_available("numba") == numba_available()
+
+    @pytest.mark.skipif(
+        numba_available(), reason="numba installed: gate cannot trip"
+    )
+    def test_missing_numba_raises_kernel_unavailable(self):
+        with pytest.raises(KernelUnavailable, match="numba"):
+            make_kernel("numba")
+        assert "numba" not in available_kernels()
+
+
+class TestContractEdges:
+    def test_empty_query_block(self, kernel):
+        counts, evals = kernel.count_neighbors(
+            np.empty((0, 2)), C, 1.0, 3
+        )
+        assert counts.shape == (0,) and evals == 0
+
+    def test_empty_candidate_block(self, kernel):
+        counts, evals = kernel.count_neighbors(
+            Q, np.empty((0, 2)), 1.0, 3
+        )
+        assert np.array_equal(counts, np.zeros(len(Q), dtype=np.int64))
+        assert evals == 0
+
+    @pytest.mark.parametrize("need", [0, -1, -100])
+    def test_need_nonpositive_charges_nothing(self, kernel, need):
+        # A scalar loop checks "found >= need" before each distance, so
+        # nothing is ever examined — the accounting fix of ISSUE 6.
+        counts, evals = kernel.count_neighbors(Q, C, 10.0, need)
+        assert np.array_equal(counts, np.zeros(len(Q), dtype=np.int64))
+        assert evals == 0
+
+    def test_need_beyond_candidates_scans_everything(self, kernel):
+        need = len(C) + 5
+        counts, evals = kernel.count_neighbors(Q, C, 10.0, need)
+        # r=10 covers the whole square: every candidate matches, nobody
+        # reaches ``need``, so every query scans (and is charged) all.
+        assert np.array_equal(
+            counts, np.full(len(Q), len(C), dtype=np.int64)
+        )
+        assert evals == len(Q) * len(C)
+
+    def test_duplicate_points_count_as_neighbors(self, kernel):
+        point = np.array([[1.5, 1.5]])
+        dupes = np.repeat(point, 7, axis=0)
+        counts, evals = kernel.count_neighbors(point, dupes, 0.5, 4)
+        assert counts.tolist() == [4]
+        assert evals == 4  # stopped at the 4th duplicate
+
+    def test_single_column_inputs(self, kernel):
+        q = np.array([[0.0], [5.0]])
+        c = np.array([[0.1], [0.2], [0.3], [9.0]])
+        counts, evals = kernel.count_neighbors(q, c, 0.25, 2)
+        assert counts.tolist() == [2, 0]
+        # query 0 stops at candidate 2; query 1 scans all 4
+        assert evals == 2 + 4
+
+    def test_early_exit_pins_count_at_need(self, kernel):
+        # r covers everything, so each query's scan stops at exactly
+        # ``need`` matches — never the tile's full match count.
+        counts, _ = kernel.count_neighbors(Q, C, 10.0, 3)
+        assert np.array_equal(counts, np.full(len(Q), 3, dtype=np.int64))
+
+    def test_boundary_distance_is_inclusive(self, kernel):
+        q = np.array([[0.0, 0.0]])
+        c = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 0.0]])
+        counts, _ = kernel.count_neighbors(q, c, 1.0, 5)
+        assert counts.tolist() == [2]
+
+    def test_dimension_mismatch_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.count_neighbors(Q, rng.uniform(0, 1, (5, 3)), 1.0, 2)
+        with pytest.raises(ValueError):
+            kernel.count_neighbors(Q[:, 0], C, 1.0, 2)
+
+
+class TestAccounting:
+    def test_stats_accumulate_across_calls(self, kernel):
+        assert kernel.calls == 0 and kernel.evals_charged == 0
+        kernel.count_neighbors(Q, C, 1.0, 3)
+        kernel.count_neighbors(Q, C, 1.0, 3)
+        assert kernel.calls == 2
+        assert kernel.evals_charged > 0
+        assert kernel.evals_computed >= kernel.evals_charged
+        assert kernel.wall_seconds > 0
+
+    def test_python_oracle_computes_exactly_what_it_charges(self):
+        oracle = make_kernel("python")
+        oracle.count_neighbors(Q, C, 1.0, 3)
+        assert oracle.evals_computed == oracle.evals_charged
+
+    def test_numpy_reports_tile_overshoot(self):
+        batched = NumpyKernel(tile=32)
+        oracle = PythonKernel()
+        _, charged_b = batched.count_neighbors(Q, C, 1.0, 3)
+        _, charged_o = oracle.count_neighbors(Q, C, 1.0, 3)
+        assert charged_b == charged_o
+        assert batched.evals_computed >= batched.evals_charged
+
+    def test_tile_width_never_changes_results(self):
+        expected_counts, expected_evals = PythonKernel().count_neighbors(
+            Q, C, 1.0, 3
+        )
+        for tile in (1, 2, 7, 64, 1024):
+            counts, evals = NumpyKernel(tile=tile).count_neighbors(
+                Q, C, 1.0, 3
+            )
+            assert np.array_equal(counts, expected_counts), tile
+            assert evals == expected_evals, tile
+
+    def test_need_nonpositive_still_counts_the_call(self, kernel):
+        kernel.count_neighbors(Q, C, 1.0, 0)
+        assert kernel.calls == 1
+        assert kernel.evals_charged == 0
+
+
+class TestABCShape:
+    def test_every_registered_backend_is_a_kernel(self):
+        for name, cls in KERNEL_REGISTRY.items():
+            assert issubclass(cls, Kernel)
+            assert cls.name == name
