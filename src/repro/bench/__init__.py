@@ -15,15 +15,18 @@ from .harness import (
     save_bench,
 )
 from .recovery import RecoveryBenchConfig, run_recovery_bench
+from .service import ServiceBenchConfig, run_service_bench
 from .streaming import StreamBenchConfig, run_stream_bench
 
 __all__ = [
     "BenchConfig",
     "KERNEL_SPEEDUP_FLOOR",
     "RecoveryBenchConfig",
+    "ServiceBenchConfig",
     "StreamBenchConfig",
     "run_bench",
     "run_recovery_bench",
+    "run_service_bench",
     "run_stream_bench",
     "check_against",
     "save_bench",

@@ -1,0 +1,203 @@
+"""Service benchmark: submit-to-result latency under concurrent tenants.
+
+``repro bench --service`` stands up a real service — spool, SQLite
+queue, a worker-process pool — in a temp directory, submits a burst of
+jobs from several tenants across both lanes, drains it, and measures
+what a tenant actually experiences:
+
+* **submit -> result latency** per job, split into queue wait vs run
+  time (the job trace's two phases);
+* **throughput** (settled jobs per second of drain wall);
+* **plan-cache effectiveness**: all jobs share one dataset, so every
+  job after the first that lands on an already-warm worker should skip
+  the planning job;
+* **exactness**: every job's outlier set must equal a one-shot
+  ``detect_outliers`` on the same input — the service tier must be
+  observationally identical to the engine it wraps.
+
+Outlier hashes and job counts are deterministic; walls, latencies, and
+the cache hit rate (it depends on which worker claims which job) are
+machine-local.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..core import Dataset, detect_outliers
+from ..data import region_dataset
+from ..params import OutlierParams
+from ..service import ServiceClient, ServiceServer
+from .harness import SCHEMA_VERSION, _outliers_hash
+
+__all__ = ["ServiceBenchConfig", "run_service_bench"]
+
+
+@dataclass(frozen=True)
+class ServiceBenchConfig:
+    """Knobs of one service benchmark invocation."""
+
+    label: str = "service"
+    region: str = "MA"
+    base_n: int = 4_000
+    r: float = 2.0
+    k: int = 12
+    strategy: str = "DMT"
+    detector: str = "nested_loop"
+    tenants: int = 3
+    jobs_per_tenant: int = 3
+    workers: int = 2
+    seed: int = 7
+    #: Every ``interactive_every``-th job goes to the interactive lane.
+    interactive_every: int = 3
+    max_wall_seconds: float = 300.0
+
+    @classmethod
+    def quick(cls, **overrides) -> "ServiceBenchConfig":
+        defaults = dict(
+            label="service_smoke", base_n=1_200, tenants=3,
+            jobs_per_tenant=2,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+def run_service_bench(
+    config: ServiceBenchConfig, log=None
+) -> Dict[str, Any]:
+    """Run the multi-tenant burst; return the report payload."""
+    dataset = region_dataset(
+        config.region, base_n=config.base_n, seed=config.seed
+    )
+    params = OutlierParams(r=config.r, k=config.k)
+    oracle = detect_outliers(
+        Dataset(dataset.points, dataset.ids), params,
+        strategy=config.strategy, detector=config.detector,
+        seed=config.seed,
+    )
+    oracle_hash = _outliers_hash(oracle.outlier_ids)
+
+    with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as tmp:
+        csv_path = os.path.join(tmp, "points.csv")
+        np.savetxt(csv_path, dataset.points, delimiter=",", fmt="%.10g")
+        spool = os.path.join(tmp, "spool")
+        client = ServiceClient(spool)
+        n_jobs = config.tenants * config.jobs_per_tenant
+        client.store.configure(
+            max_depth=max(n_jobs + 4, 16),
+            tenant_max_inflight=config.jobs_per_tenant + 2,
+        )
+
+        if log is not None:
+            log(
+                f"service bench '{config.label}': {config.region} "
+                f"n={dataset.n} tenants={config.tenants} x "
+                f"{config.jobs_per_tenant} jobs, "
+                f"{config.workers} workers"
+            )
+
+        submitted_at: Dict[int, float] = {}
+        job_ids: List[int] = []
+        for index in range(n_jobs):
+            tenant = f"tenant-{index % config.tenants}"
+            lane = (
+                "interactive"
+                if index % config.interactive_every == 0 else "batch"
+            )
+            job_id = client.submit(
+                csv_path, r=config.r, k=config.k, tenant=tenant,
+                lane=lane, strategy=config.strategy,
+                detector=config.detector, seed=config.seed,
+            )
+            submitted_at[job_id] = time.perf_counter()
+            job_ids.append(job_id)
+
+        server = ServiceServer(spool, workers=config.workers)
+        t0 = time.perf_counter()
+        exit_code = server.run(
+            drain=True, max_seconds=config.max_wall_seconds
+        )
+        drain_wall = time.perf_counter() - t0
+        if exit_code != 0:
+            raise RuntimeError(
+                f"service bench failed to drain (exit {exit_code})"
+            )
+
+        rows: List[Dict[str, Any]] = []
+        plan_hits = 0
+        identical = True
+        for job_id in job_ids:
+            report = client.result(job_id, timeout=5.0)
+            settled = client.status(job_id)
+            latency = (
+                float(settled["finished_at"]) - float(settled["submitted_at"])
+            )
+            identical &= (
+                _outliers_hash(report["outliers"]) == oracle_hash
+            )
+            plan_hits += int(report["plan_cache_hit"])
+            rows.append({
+                "job_id": job_id,
+                "tenant": report["tenant"],
+                "lane": report["lane"],
+                "latency_seconds": latency,
+                "queue_wait_seconds": report["queue_wait_seconds"],
+                "run_seconds": report["run_seconds"],
+                "plan_cache_hit": report["plan_cache_hit"],
+                "outliers_hash": _outliers_hash(report["outliers"]),
+            })
+            if log is not None:
+                log(
+                    f"  job {job_id} [{report['tenant']}/"
+                    f"{report['lane']}] latency "
+                    f"{latency:.3f}s (wait "
+                    f"{report['queue_wait_seconds']:.3f}s, run "
+                    f"{report['run_seconds']:.3f}s)"
+                )
+        client.close()
+
+    latencies = [row["latency_seconds"] for row in rows]
+    waits = [row["queue_wait_seconds"] for row in rows]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": config.label,
+        "workload": {
+            "region": config.region,
+            "n_points": dataset.n,
+            "r": config.r,
+            "k": config.k,
+            "strategy": config.strategy,
+            "tenants": config.tenants,
+            "jobs_per_tenant": config.jobs_per_tenant,
+            "workers": config.workers,
+            "seed": config.seed,
+        },
+        "jobs": rows,
+        "derived": {
+            # Deterministic:
+            "n_jobs": len(rows),
+            "identical_outliers": bool(identical),
+            "oracle_outliers_hash": oracle_hash,
+            # Machine-local:
+            "drain_wall_seconds": drain_wall,
+            "jobs_per_second": (
+                len(rows) / drain_wall if drain_wall > 0 else 0.0
+            ),
+            "mean_latency_seconds": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "max_latency_seconds": max(latencies, default=0.0),
+            "mean_queue_wait_seconds": (
+                sum(waits) / len(waits) if waits else 0.0
+            ),
+            "plan_cache_hit_rate": (
+                plan_hits / len(rows) if rows else 0.0
+            ),
+        },
+    }

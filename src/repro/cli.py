@@ -12,6 +12,11 @@ Subcommands::
     python -m repro resume ckpt/
     python -m repro stream data.csv -r 2.0 -k 12 --batch-size 500
     python -m repro stream data.csv -r 2.0 -k 12 --snapshot state.json
+    python -m repro serve --spool spool/ --workers 4
+    python -m repro submit data.csv -r 2.0 -k 12 --spool spool/ --tenant acme
+    python -m repro status 3 --spool spool/
+    python -m repro result 3 --spool spool/ --timeout 60
+    python -m repro cancel 3 --spool spool/
     python -m repro clean-shm --dry-run
     python -m repro trace run.jsonl
     python -m repro plan data.csv -r 2.0 -k 12 --strategy DMT -o plan.json
@@ -19,6 +24,10 @@ Subcommands::
     python -m repro bench --quick --check benchmarks/baselines/bench_smoke.json
     python -m repro bench --stream --quick
     python -m repro bench --recovery --quick
+    python -m repro bench --service --quick
+
+Exit codes: 0 success, 1 gate/consistency failure, 2 usage or input
+error, 3 transient service condition (queue full, result timeout).
 
 CSV format: one point per line, ``x,y[,z...]``; an optional leading
 ``id`` column is accepted with ``--with-ids``.
@@ -28,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -519,6 +529,126 @@ def _cmd_clean_shm(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit code for transient service conditions: the request was valid
+#: but the service cannot take or answer it *right now* (queue at its
+#: backpressure bound, result timeout).  Distinct from 2 (usage/input
+#: error) so callers can retry-with-backoff on 3 and not on 2.
+EXIT_BACKPRESSURE = 3
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    if args.workers < 1:
+        raise CLIError("--workers must be >= 1")
+
+    def log(message: str) -> None:
+        print(f"serve: {message}", file=sys.stderr)
+
+    return serve(
+        args.spool,
+        workers=args.workers,
+        drain=args.drain,
+        max_seconds=args.max_seconds,
+        max_depth=args.max_depth,
+        tenant_max_inflight=args.tenant_max_inflight,
+        boost_after=args.boost_after,
+        log=log,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import QueueFull, ServiceClient, ServiceError
+
+    if not os.path.exists(args.input):
+        raise CLIError(f"input file not found: {args.input}")
+    with ServiceClient(args.spool) as client:
+        try:
+            job_id = client.submit(
+                args.input, r=args.r, k=args.k, tenant=args.tenant,
+                lane=args.lane, strategy=args.strategy,
+                detector=args.detector, seed=args.seed,
+                nodes=args.nodes, workers=args.workers,
+                transport=args.transport, kernel=args.kernel,
+                with_ids=args.with_ids,
+            )
+        except QueueFull as exc:
+            # Explicit backpressure: fail fast, tell the caller to
+            # retry later — never hang waiting for space.
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_BACKPRESSURE
+        except ServiceError as exc:
+            raise CLIError(str(exc)) from exc
+        print(job_id)
+        if args.wait is not None:
+            return _await_result(client, job_id, args.wait, args.output)
+    return 0
+
+
+def _await_result(client, job_id: int, timeout, output) -> int:
+    from .service import JobFailed, JobTimeout
+
+    try:
+        report = client.result(
+            job_id, timeout=timeout if timeout > 0 else None
+        )
+    except JobTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BACKPRESSURE
+    except JobFailed as exc:
+        raise CLIError(str(exc)) from exc
+    _write_report(report, output)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import JobNotFound, ServiceClient
+
+    with ServiceClient(args.spool) as client:
+        if args.job_id is None:
+            print(json.dumps(client.queue_stats(), indent=2))
+            return 0
+        try:
+            job = client.status(args.job_id)
+        except JobNotFound as exc:
+            raise CLIError(str(exc)) from exc
+    view = {
+        key: job.get(key)
+        for key in (
+            "id", "tenant", "lane_name", "state", "cancel_requested",
+            "attempts", "submitted_at", "started_at", "finished_at",
+            "queue_wait_seconds", "owner_pid", "error",
+        )
+        if job.get(key) is not None or key in ("state", "error")
+    }
+    print(json.dumps(view, indent=2))
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from .service import JobNotFound, ServiceClient
+
+    with ServiceClient(args.spool) as client:
+        try:
+            return _await_result(
+                client, args.job_id, args.timeout, args.output
+            )
+        except JobNotFound as exc:
+            raise CLIError(str(exc)) from exc
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from .service import JobNotFound, ServiceClient
+
+    with ServiceClient(args.spool) as client:
+        try:
+            state = client.cancel(args.job_id)
+        except JobNotFound as exc:
+            raise CLIError(str(exc)) from exc
+    print(f"job {args.job_id}: {state}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     report = RunReport.load(args.input)
     print(render_report(report))
@@ -628,18 +758,71 @@ def _recovery_bench(args: argparse.Namespace) -> int:
     return 0 if derived["identical_outliers"] else 1
 
 
+def _service_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        ServiceBenchConfig,
+        run_service_bench,
+        save_bench,
+    )
+
+    if args.check:
+        print(
+            "error: --check compares the fixed perf matrix; it does not "
+            "apply to --service",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {}
+    if args.label:
+        overrides["label"] = args.label
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.base_n is not None:
+        overrides["base_n"] = args.base_n
+    if args.quick:
+        config = ServiceBenchConfig.quick(**overrides)
+    else:
+        config = ServiceBenchConfig(**overrides)
+
+    result = run_service_bench(config, log=print)
+    out_path = args.output or f"SERVICE_{config.label}.json"
+    save_bench(result, out_path)
+    print(f"service bench result -> {out_path}")
+
+    derived = result["derived"]
+    print(
+        f"{derived['n_jobs']} jobs drained in "
+        f"{derived['drain_wall_seconds']:.3f}s "
+        f"({derived['jobs_per_second']:.2f} jobs/s); mean latency "
+        f"{derived['mean_latency_seconds']:.3f}s (queue wait "
+        f"{derived['mean_queue_wait_seconds']:.3f}s); plan cache hit "
+        f"rate {derived['plan_cache_hit_rate']:.0%}; identical "
+        f"outliers: {derived['identical_outliers']}"
+    )
+    return 0 if derived["identical_outliers"] else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import BenchConfig, check_against, run_bench, save_bench
 
-    if args.stream and args.recovery:
+    modes = [
+        name for name, on in [
+            ("--stream", args.stream),
+            ("--recovery", args.recovery),
+            ("--service", args.service),
+        ] if on
+    ]
+    if len(modes) > 1:
         print(
-            "error: pick one of --stream / --recovery", file=sys.stderr
+            f"error: pick one of {' / '.join(modes)}", file=sys.stderr
         )
         return 2
     if args.recovery:
         return _recovery_bench(args)
     if args.stream:
         return _stream_bench(args)
+    if args.service:
+        return _service_bench(args)
     overrides = {}
     if args.label:
         overrides["label"] = args.label
@@ -851,6 +1034,98 @@ def build_parser() -> argparse.ArgumentParser:
     add_kernel_flag(stream)
     stream.set_defaults(func=_cmd_stream)
 
+    def add_spool_flag(p):
+        from .service.store import default_spool
+
+        p.add_argument("--spool", metavar="DIR",
+                       default=default_spool(),
+                       help="service spool directory holding the job "
+                            "queue, checkpoints, and results (default "
+                            "./.repro-service)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the detection service: a worker pool over a durable "
+             "job queue; submit work with 'repro submit'",
+    )
+    add_spool_flag(serve)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes in the pool (default 2)")
+    serve.add_argument("--drain", action="store_true",
+                       help="exit once every queued job has settled "
+                            "(batch mode; default: serve forever)")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="hard wall-clock bound; exits 3 if work "
+                            "remains (liveness backstop)")
+    serve.add_argument("--max-depth", type=int, default=None,
+                       help="queue depth bound: submits past it are "
+                            "rejected with QueueFull (default 64)")
+    serve.add_argument("--tenant-max-inflight", type=int, default=None,
+                       help="per-tenant queued+running quota "
+                            "(default 8)")
+    serve.add_argument("--boost-after", type=int, default=None,
+                       help="serve a starved lane after it was passed "
+                            "over this many times (default 4)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="queue a detection job on the service; prints its job id",
+    )
+    add_common(submit)
+    submit.add_argument("--detector", default="nested_loop")
+    add_spool_flag(submit)
+    submit.add_argument("--tenant", default="default",
+                        help="tenant the job is accounted to "
+                             "(admission quotas are per tenant)")
+    submit.add_argument("--lane", choices=["interactive", "batch"],
+                        default="batch",
+                        help="priority lane: interactive beats batch, "
+                             "FIFO within a lane (default batch)")
+    submit.add_argument("--workers", type=int, default=0,
+                        help="worker processes the job's runtime uses "
+                             "(0 = serial)")
+    submit.add_argument("--transport", choices=list(TRANSPORTS),
+                        default="pickle")
+    add_kernel_flag(submit)
+    submit.add_argument("--wait", type=float, metavar="SECONDS",
+                        default=None,
+                        help="block for the result up to SECONDS "
+                             "(0 = forever); default: return "
+                             "immediately after queueing")
+    submit.add_argument("-o", "--output",
+                        help="with --wait: write the result JSON here")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status",
+        help="show one job's state, or the queue's shape without an id",
+    )
+    status.add_argument("job_id", nargs="?", type=int, default=None)
+    add_spool_flag(status)
+    status.set_defaults(func=_cmd_status)
+
+    result = sub.add_parser(
+        "result", help="fetch (and wait for) a submitted job's report"
+    )
+    result.add_argument("job_id", type=int)
+    add_spool_flag(result)
+    result.add_argument("--timeout", type=float, default=60.0,
+                        help="seconds to wait for the job to settle "
+                             "(0 = forever; default 60)")
+    result.add_argument("-o", "--output",
+                        help="write the result JSON here")
+    result.set_defaults(func=_cmd_result)
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a job: queued jobs immediately, running jobs "
+             "cooperatively at their next commit",
+    )
+    cancel.add_argument("job_id", type=int)
+    add_spool_flag(cancel)
+    cancel.set_defaults(func=_cmd_cancel)
+
     clean = sub.add_parser(
         "clean-shm",
         help="remove orphaned shared-memory segments left in /dev/shm "
@@ -901,6 +1176,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the recovery benchmark instead: "
                             "journal overhead + crash/resume cost, "
                             "emitting RECOVERY_<label>.json")
+    bench.add_argument("--service", action="store_true",
+                       help="run the service benchmark instead: "
+                            "submit->result latency under concurrent "
+                            "tenants, emitting SERVICE_<label>.json")
     bench.add_argument("--repeats", type=int, default=None,
                        help="runs per matrix cell; min wall is reported")
     bench.add_argument("--workers", type=int, default=None,

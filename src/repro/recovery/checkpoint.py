@@ -133,6 +133,7 @@ def run_checkpointed(
     abort_after_commits: Optional[int] = None,
     manifest_extra: Optional[dict] = None,
     kernel: Optional[str] = None,
+    plan=None,
 ) -> CheckpointedResult:
     """Detect outliers with durable per-partition commits.
 
@@ -148,6 +149,12 @@ def run_checkpointed(
     of the manifest's run identity (backends are observationally
     identical by the kernel ABI's exactness contract), so a checkpoint
     written under one backend resumes cleanly under another.
+    ``plan`` (optional) supplies a pre-built partition plan for a
+    *fresh* run — the warm-worker path of the service tier, where a
+    repeat submission of the same dataset skips the sampling
+    pre-processing job.  It must have been built with the same inputs
+    and sizing; a resumed run ignores it in favor of the manifest's
+    plan (the durable identity always wins).
     """
     strategy = resolve_strategy(strategy)
     cluster = cluster or ClusterConfig()
@@ -184,7 +191,7 @@ def run_checkpointed(
                 dataset, params, checkpoint_dir, journal_path, strategy,
                 detector, runtime, n_reducers, n_partitions, seed,
                 config, counters, run_span, abort_after_commits,
-                manifest_extra, kernel,
+                manifest_extra, kernel, plan,
             )
             run_span.annotate(
                 resumed=result.resumed,
@@ -202,12 +209,12 @@ def run_checkpointed(
 def _run(
     dataset, params, checkpoint_dir, journal_path, strategy, detector,
     runtime, n_reducers, n_partitions, seed, config, counters, run_span,
-    abort_after_commits, manifest_extra, kernel,
+    abort_after_commits, manifest_extra, kernel, warm_plan,
 ):
     plan, resumed = _load_or_build_plan(
         dataset, params, checkpoint_dir, journal_path, strategy,
         runtime, n_reducers, n_partitions, seed, config, counters,
-        run_span, manifest_extra,
+        run_span, manifest_extra, warm_plan,
     )
 
     committed = _replay_journal(
@@ -269,7 +276,7 @@ def _run(
 def _load_or_build_plan(
     dataset, params, checkpoint_dir, journal_path, strategy, runtime,
     n_reducers, n_partitions, seed, config, counters, run_span,
-    manifest_extra,
+    manifest_extra, warm_plan=None,
 ):
     """Return ``(plan, resumed)``; fresh runs write the manifest."""
     manifest_path = os.path.join(checkpoint_dir, MANIFEST_FILE)
@@ -304,18 +311,28 @@ def _load_or_build_plan(
     # so no window pairs the new manifest with old verdicts.
     if os.path.exists(journal_path):
         os.remove(journal_path)
-    request = PlanRequest(
-        domain=dataset.bounds,
-        params=params,
-        n_partitions=n_partitions,
-        n_reducers=n_reducers,
-        n_buckets=int(min(1024, max(64, dataset.n // 20))),
-        sample_rate=min(0.5, max(0.005, 2000 / max(dataset.n, 1))),
-        seed=seed,
-    )
-    plan = strategy.timed_plan(
-        runtime, list(dataset.records()), request
-    )
+    if warm_plan is not None:
+        # A warm worker already planned this exact (dataset, params,
+        # sizing); the manifest still records the plan verbatim, so the
+        # resume path never depends on the caller's cache.
+        plan = warm_plan
+        counters.incr("recovery", "plan_reused")
+        run_span.child(
+            "plan_reused", "event", strategy=plan.strategy,
+        ).finish()
+    else:
+        request = PlanRequest(
+            domain=dataset.bounds,
+            params=params,
+            n_partitions=n_partitions,
+            n_reducers=n_reducers,
+            n_buckets=int(min(1024, max(64, dataset.n // 20))),
+            sample_rate=min(0.5, max(0.005, 2000 / max(dataset.n, 1))),
+            seed=seed,
+        )
+        plan = strategy.timed_plan(
+            runtime, list(dataset.records()), request
+        )
     write_artifact(
         os.path.join(checkpoint_dir, MANIFEST_FILE),
         _MANIFEST_KIND,

@@ -1,0 +1,58 @@
+"""Multi-tenant detection service: a broker-free async job queue.
+
+The long-lived tier over the one-shot engine (ROADMAP item 1).  Four
+pieces, all sharing one *spool directory* as their only coupling:
+
+* :mod:`~repro.service.store` — the durable queue: a SQLite-backed
+  job store with atomic ``queued -> running -> done|failed|cancelled``
+  transitions, priority lanes with FIFO order and a bounded-starvation
+  boost, per-tenant admission quotas, and explicit :class:`QueueFull`
+  backpressure;
+* :mod:`~repro.service.worker` — warm workers that reuse runtimes and
+  cached partition plans across jobs and run every job through the
+  checkpoint journal, so a killed worker's job *resumes*;
+* :mod:`~repro.service.server` — the ``repro serve`` driver: spawns
+  and supervises the worker pool, re-queues orphaned jobs, drains;
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the library
+  API behind ``repro submit / status / result / cancel``.
+
+See ``docs/service.md`` for the architecture and guarantees.
+"""
+
+from .client import JobFailed, JobTimeout, ServiceClient
+from .server import ServiceServer, serve
+from .store import (
+    LANES,
+    STATES,
+    TERMINAL_STATES,
+    InvalidTransition,
+    JobNotFound,
+    JobStore,
+    QueueFull,
+    ServiceError,
+    TenantQuotaExceeded,
+    lane_name,
+    lane_priority,
+)
+from .worker import ServiceWorker, worker_main
+
+__all__ = [
+    "LANES",
+    "STATES",
+    "TERMINAL_STATES",
+    "InvalidTransition",
+    "JobFailed",
+    "JobNotFound",
+    "JobStore",
+    "JobTimeout",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceWorker",
+    "TenantQuotaExceeded",
+    "lane_name",
+    "lane_priority",
+    "serve",
+    "worker_main",
+]

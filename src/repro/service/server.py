@@ -1,0 +1,198 @@
+"""The serve driver: owns the worker pool, adopts orphans, never jobs.
+
+``repro serve`` runs this loop.  The driver does no detection work
+itself — it spawns ``workers`` :mod:`~repro.service.worker` processes,
+watches them, and keeps the queue honest:
+
+* on startup it **adopts** the previous incarnation's state: queued
+  jobs are simply still queued (the store is durable), and running
+  jobs whose workers are gone are re-queued at the front of their lane
+  — their checkpoint journals make the re-run a resume;
+* a worker that dies (SIGKILL, OOM) is detected by ``Process.is_alive``,
+  its jobs are re-queued the same way, and a **replacement worker** is
+  spawned — the pool stays at full strength under arbitrary worker
+  churn;
+* on SIGTERM/SIGINT the driver terminates its workers and exits;
+  a SIGKILLed driver leaves workers that notice their parent changed
+  and exit on their own (see ``worker.run_forever``), so a restarted
+  driver re-adopts a clean field.
+
+``drain=True`` turns the long-lived service into a batch pump: the
+driver exits once every job in the store has settled — the hermetic
+mode the tests and ``repro bench --service`` drive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from typing import Callable, Dict, List, Optional
+
+from .store import TERMINAL_STATES, JobStore
+from .worker import worker_main
+
+__all__ = ["ServiceServer", "serve"]
+
+#: Seconds between supervision sweeps (worker health, orphan adoption).
+_SUPERVISE_POLL_SECONDS = 0.1
+
+
+class ServiceServer:
+    """Supervise a worker pool over one spool directory."""
+
+    def __init__(
+        self,
+        spool_dir: str,
+        workers: int = 2,
+        max_depth: Optional[int] = None,
+        tenant_max_inflight: Optional[int] = None,
+        boost_after: Optional[int] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spool_dir = spool_dir
+        self.n_workers = workers
+        self.store = JobStore(spool_dir)
+        self.store.configure(
+            max_depth=max_depth,
+            tenant_max_inflight=tenant_max_inflight,
+            boost_after=boost_after,
+        )
+        self.log = log or (lambda message: None)
+        self._procs: Dict[int, multiprocessing.Process] = {}
+        self._stop = False
+        self.workers_spawned = 0
+        self.jobs_adopted = 0
+
+    # -- worker pool ---------------------------------------------------
+    def _spawn(self, worker_id: int) -> None:
+        # Spawn, not fork: the driver holds an open SQLite connection
+        # and fork-inheriting it (or numpy's thread state) into workers
+        # invites corruption that would only show under load.
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(
+            target=worker_main,
+            args=(self.spool_dir, worker_id),
+            kwargs={"parent_pid": os.getpid()},
+            name=f"repro-service-worker-{worker_id}",
+            daemon=False,
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+        self.workers_spawned += 1
+        self.log(f"worker {worker_id} up (pid {proc.pid})")
+
+    def _supervise_once(self) -> None:
+        """One sweep: bury dead workers, adopt their jobs, respawn."""
+        for worker_id, proc in list(self._procs.items()):
+            if proc.is_alive():
+                continue
+            proc.join(timeout=0)
+            self.log(
+                f"worker {worker_id} (pid {proc.pid}) exited "
+                f"with code {proc.exitcode}"
+            )
+            del self._procs[worker_id]
+        adopted = self.store.requeue_orphans()
+        if adopted:
+            self.jobs_adopted += len(adopted)
+            self.log(
+                f"re-queued {len(adopted)} orphaned job(s): {adopted}"
+            )
+        if not self._stop:
+            for worker_id in range(self.n_workers):
+                if worker_id not in self._procs:
+                    self._spawn(worker_id)
+
+    def _unsettled(self) -> int:
+        stats = self.store.stats()["states"]
+        return sum(
+            n for state, n in stats.items()
+            if state not in TERMINAL_STATES
+        )
+
+    def _shutdown_workers(self) -> None:
+        for proc in self._procs.values():
+            proc.terminate()
+        deadline = time.time() + 5.0
+        for proc in self._procs.values():
+            proc.join(timeout=max(0.0, deadline - time.time()))
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=1.0)
+        self._procs.clear()
+
+    # -- main loop -----------------------------------------------------
+    def run(
+        self,
+        drain: bool = False,
+        max_seconds: Optional[float] = None,
+    ) -> int:
+        """Supervise until stopped.
+
+        ``drain`` exits (code 0) once every job has settled;
+        ``max_seconds`` is a hard wall for both modes (exit code 3 if
+        work remains — a liveness backstop, not a happy path).
+        """
+        started = time.time()
+        # Adopt before the first spawn so a restart's re-queued jobs are
+        # at their lanes' front when the first claim happens.
+        adopted = self.store.requeue_orphans()
+        if adopted:
+            self.jobs_adopted += len(adopted)
+            self.log(
+                f"adopted {len(adopted)} in-flight job(s) from a "
+                f"previous serve: {adopted}"
+            )
+        previous = {
+            signal.SIGTERM: signal.signal(signal.SIGTERM, self._on_signal),
+            signal.SIGINT: signal.signal(signal.SIGINT, self._on_signal),
+        }
+        try:
+            while not self._stop:
+                self._supervise_once()
+                if drain and self._unsettled() == 0:
+                    self.log("queue drained; exiting")
+                    return 0
+                if (max_seconds is not None
+                        and time.time() - started > max_seconds):
+                    remaining = self._unsettled()
+                    self.log(
+                        f"max-seconds reached with {remaining} "
+                        "job(s) unsettled"
+                    )
+                    return 3 if remaining else 0
+                time.sleep(_SUPERVISE_POLL_SECONDS)
+            self.log("stop requested; shutting down")
+            return 0
+        finally:
+            self._shutdown_workers()
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+    def _on_signal(self, signum, frame) -> None:
+        self._stop = True
+
+    # -- test/bench conveniences ---------------------------------------
+    def worker_pids(self) -> List[int]:
+        return [
+            proc.pid for proc in self._procs.values()
+            if proc.pid is not None and proc.is_alive()
+        ]
+
+
+def serve(
+    spool_dir: str,
+    workers: int = 2,
+    drain: bool = False,
+    max_seconds: Optional[float] = None,
+    log: Optional[Callable[[str], None]] = None,
+    **admission,
+) -> int:
+    """Run a service over ``spool_dir`` (the ``repro serve`` body)."""
+    server = ServiceServer(spool_dir, workers=workers, log=log,
+                           **admission)
+    return server.run(drain=drain, max_seconds=max_seconds)

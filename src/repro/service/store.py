@@ -1,0 +1,590 @@
+"""The durable job store: a broker-free queue on a single SQLite file.
+
+Celery-shaped systems put the queue in a broker (Redis, RabbitMQ) and
+the results in a backend; this store is both, in one SQLite database,
+so every piece of service state survives any process death and every
+state transition is a single ACID transaction.  Clients, the serve
+driver, and the workers all open the same file — SQLite's WAL mode and
+``BEGIN IMMEDIATE`` transactions give the cross-process atomicity a
+broker would, without a broker process to install, start, or mock.
+
+**Job lifecycle** is a strict state machine::
+
+    queued ──▶ running ──▶ done | failed | cancelled
+       └──────────────────▶ cancelled
+
+Transitions are compare-and-swap updates (``UPDATE ... WHERE state =
+?``) — a lost race surfaces as :class:`InvalidTransition`, never as a
+silently clobbered row.  Cancellation is cooperative past the queue:
+a queued job cancels immediately; a running job gets
+``cancel_requested`` set and settles as ``cancelled`` when its worker
+reaches the next transition.
+
+**Admission control** happens at submit time, inside the insert
+transaction:
+
+* global backpressure — more than ``max_depth`` queued jobs rejects
+  with :class:`QueueFull` (submit never blocks, callers decide whether
+  to retry);
+* per-tenant quota — more than ``tenant_max_inflight`` queued+running
+  jobs for one tenant rejects with :class:`TenantQuotaExceeded` (a
+  :class:`QueueFull` subclass), so one tenant cannot occupy the whole
+  queue.
+
+**Dispatch order** is priority lanes with bounded starvation: lane 0
+(``interactive``) beats lane 1 (``batch``), FIFO within a lane, but
+every time a lane with queued work is passed over its ``passed_over``
+credit grows; once it reaches ``boost_after`` the starved lane *must*
+be served next.  A lane therefore waits at most ``boost_after``
+consecutive claims — strict enough to test, fair enough to serve.
+
+**Recovery**: a claim stamps the worker's pid and a lease deadline.
+:meth:`JobStore.requeue_orphans` returns any ``running`` job whose
+owner is dead (or lease expired) to ``queued`` — keeping its original
+id, so a re-adopted job re-enters at the front of its lane's FIFO and
+its checkpoint journal lets the next worker resume, not restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "LANES",
+    "STATES",
+    "TERMINAL_STATES",
+    "ServiceError",
+    "QueueFull",
+    "TenantQuotaExceeded",
+    "JobNotFound",
+    "InvalidTransition",
+    "JobStore",
+    "lane_priority",
+    "lane_name",
+    "default_spool",
+]
+
+#: Named priority lanes: lower number wins a claim (subject to the
+#: starvation bound).  ``interactive`` is the low-latency lane the
+#: tiered-detection roadmap item plugs into; ``batch`` is the default.
+LANES: Dict[str, int] = {"interactive": 0, "batch": 1}
+
+STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Default admission bounds (overridable per spool via ``configure``).
+DEFAULT_MAX_DEPTH = 64
+DEFAULT_TENANT_MAX_INFLIGHT = 8
+DEFAULT_BOOST_AFTER = 4
+#: Seconds a claimed job's lease lasts without a heartbeat before the
+#: driver may treat its worker as dead even when the pid looks alive
+#: (pid reuse); heartbeats renew it.
+DEFAULT_LEASE_SECONDS = 600.0
+
+DB_FILE = "service.db"
+
+
+class ServiceError(Exception):
+    """Base class for user-facing service failures."""
+
+
+class QueueFull(ServiceError):
+    """Submit rejected: the queue is at its depth bound.
+
+    Explicit backpressure — the caller sees the rejection immediately
+    instead of the queue growing without bound or the submit hanging.
+    """
+
+    def __init__(self, message: str, depth: int, bound: int) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.bound = bound
+
+
+class TenantQuotaExceeded(QueueFull):
+    """Submit rejected: this tenant is at its in-flight quota."""
+
+
+class JobNotFound(ServiceError, KeyError):
+    """No job with that id in the store."""
+
+    def __str__(self) -> str:  # KeyError quotes its message otherwise
+        return self.args[0] if self.args else ""
+
+
+class InvalidTransition(ServiceError):
+    """A state change that the job lifecycle does not allow."""
+
+
+def lane_priority(lane: str | int) -> int:
+    """Resolve a lane name (or already-numeric priority) to its number."""
+    if isinstance(lane, int):
+        return lane
+    try:
+        return LANES[lane]
+    except KeyError:
+        raise ServiceError(
+            f"unknown lane {lane!r}; known lanes: "
+            f"{', '.join(sorted(LANES))}"
+        ) from None
+
+
+def lane_name(priority: int) -> str:
+    """The display name of a lane number (falls back to ``lane-N``)."""
+    for name, value in LANES.items():
+        if value == priority:
+            return name
+    return f"lane-{priority}"
+
+
+def default_spool() -> str:
+    return os.path.join(os.getcwd(), ".repro-service")
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    tenant TEXT NOT NULL,
+    lane INTEGER NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    spec TEXT NOT NULL,
+    result TEXT,
+    error TEXT,
+    owner_pid INTEGER,
+    lease_deadline REAL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    submitted_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state_lane
+    ON jobs (state, lane, id);
+CREATE TABLE IF NOT EXISTS lane_credits (
+    lane INTEGER PRIMARY KEY,
+    passed_over INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS config (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+_CONFIG_DEFAULTS = {
+    "max_depth": DEFAULT_MAX_DEPTH,
+    "tenant_max_inflight": DEFAULT_TENANT_MAX_INFLIGHT,
+    "boost_after": DEFAULT_BOOST_AFTER,
+    "lease_seconds": DEFAULT_LEASE_SECONDS,
+}
+
+
+class JobStore:
+    """One process's handle on the shared SQLite-backed job queue.
+
+    Every public method is one transaction; instances are cheap and
+    single-threaded (open one per process/thread, they all see the same
+    queue).
+    """
+
+    def __init__(self, spool_dir: str) -> None:
+        self.spool_dir = os.path.abspath(spool_dir)
+        os.makedirs(self.spool_dir, exist_ok=True)
+        self.db_path = os.path.join(self.spool_dir, DB_FILE)
+        self._conn = sqlite3.connect(
+            self.db_path, timeout=30.0, isolation_level=None
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=FULL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        # executescript manages its own commit; don't wrap it in _txn.
+        self._conn.executescript(_SCHEMA)
+
+    # -- plumbing ------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _txn(self):
+        return _Transaction(self._conn)
+
+    def job_dir(self, job_id: int) -> str:
+        """The per-job scratch directory (checkpoint, result, trace)."""
+        return os.path.join(self.spool_dir, "jobs", str(int(job_id)))
+
+    # -- configuration -------------------------------------------------
+    def configure(self, **overrides: Any) -> Dict[str, Any]:
+        """Persist admission-control overrides (serve's flags live here,
+        so submitting clients enforce the same bounds)."""
+        unknown = set(overrides) - set(_CONFIG_DEFAULTS)
+        if unknown:
+            raise ServiceError(
+                f"unknown service config keys: {sorted(unknown)}"
+            )
+        with self._txn():
+            for key, value in overrides.items():
+                if value is None:
+                    continue
+                self._conn.execute(
+                    "INSERT INTO config (key, value) VALUES (?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                    (key, json.dumps(value)),
+                )
+        return self.config()
+
+    def config(self) -> Dict[str, Any]:
+        rows = self._conn.execute(
+            "SELECT key, value FROM config"
+        ).fetchall()
+        config = dict(_CONFIG_DEFAULTS)
+        for row in rows:
+            if row["key"] in config:
+                config[row["key"]] = json.loads(row["value"])
+        return config
+
+    # -- submit (admission control + backpressure) ---------------------
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        tenant: str = "default",
+        lane: str | int = "batch",
+    ) -> int:
+        """Admit one job; returns its id or raises :class:`QueueFull`."""
+        if not tenant or "/" in tenant:
+            raise ServiceError(f"invalid tenant name {tenant!r}")
+        priority = lane_priority(lane)
+        now = time.time()
+        with self._txn():
+            config = self.config()
+            depth = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state = 'queued'"
+            ).fetchone()[0]
+            if depth >= config["max_depth"]:
+                raise QueueFull(
+                    f"queue is full ({depth} queued >= bound "
+                    f"{config['max_depth']}); retry after jobs drain",
+                    depth=depth, bound=config["max_depth"],
+                )
+            inflight = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE tenant = ? "
+                "AND state IN ('queued', 'running')",
+                (tenant,),
+            ).fetchone()[0]
+            if inflight >= config["tenant_max_inflight"]:
+                raise TenantQuotaExceeded(
+                    f"tenant {tenant!r} has {inflight} jobs in flight "
+                    f">= quota {config['tenant_max_inflight']}",
+                    depth=inflight,
+                    bound=config["tenant_max_inflight"],
+                )
+            cursor = self._conn.execute(
+                "INSERT INTO jobs (tenant, lane, state, spec, "
+                "submitted_at) VALUES (?, ?, 'queued', ?, ?)",
+                (tenant, priority, json.dumps(spec), now),
+            )
+            return int(cursor.lastrowid)
+
+    # -- claim (priority + FIFO + bounded starvation) ------------------
+    def claim(
+        self, owner_pid: Optional[int] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Atomically move the next eligible job to ``running``.
+
+        Lane choice: any lane whose ``passed_over`` credit has reached
+        ``boost_after`` is served first (most-starved wins); otherwise
+        the highest-priority non-empty lane.  Within the chosen lane,
+        strictly the oldest job.  Returns the claimed job dict or
+        ``None`` when nothing is queued.
+        """
+        owner_pid = os.getpid() if owner_pid is None else int(owner_pid)
+        now = time.time()
+        with self._txn():
+            config = self.config()
+            lanes = self._conn.execute(
+                "SELECT lane, MIN(id) AS oldest FROM jobs "
+                "WHERE state = 'queued' GROUP BY lane ORDER BY lane"
+            ).fetchall()
+            if not lanes:
+                return None
+            credits = {
+                row["lane"]: row["passed_over"]
+                for row in self._conn.execute(
+                    "SELECT lane, passed_over FROM lane_credits"
+                )
+            }
+            starved = [
+                row for row in lanes
+                if credits.get(row["lane"], 0) >= config["boost_after"]
+            ]
+            if starved:
+                starved.sort(
+                    key=lambda r: (-credits.get(r["lane"], 0), r["lane"])
+                )
+                chosen = starved[0]
+            else:
+                chosen = lanes[0]  # ordered by lane: highest priority
+            job_id = int(chosen["oldest"])
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = 'running', owner_pid = ?, "
+                "lease_deadline = ?, started_at = ?, "
+                "attempts = attempts + 1 "
+                "WHERE id = ? AND state = 'queued'",
+                (owner_pid, now + config["lease_seconds"], now, job_id),
+            )
+            if cursor.rowcount != 1:  # pragma: no cover - same txn
+                raise InvalidTransition(f"job {job_id} vanished mid-claim")
+            for row in lanes:
+                lane = int(row["lane"])
+                passed = 0 if lane == int(chosen["lane"]) else (
+                    credits.get(lane, 0) + 1
+                )
+                self._conn.execute(
+                    "INSERT INTO lane_credits (lane, passed_over) "
+                    "VALUES (?, ?) ON CONFLICT(lane) DO UPDATE SET "
+                    "passed_over = excluded.passed_over",
+                    (lane, passed),
+                )
+        return self.get(job_id)
+
+    def heartbeat(self, job_id: int, owner_pid: Optional[int] = None) -> None:
+        """Renew a running job's lease (workers call this between
+        commits); harmless if the job already settled."""
+        owner_pid = os.getpid() if owner_pid is None else int(owner_pid)
+        with self._txn():
+            config = self.config()
+            self._conn.execute(
+                "UPDATE jobs SET lease_deadline = ? "
+                "WHERE id = ? AND state = 'running' AND owner_pid = ?",
+                (time.time() + config["lease_seconds"], int(job_id),
+                 owner_pid),
+            )
+
+    # -- settle --------------------------------------------------------
+    def finish(
+        self,
+        job_id: int,
+        state: str,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        owner_pid: Optional[int] = None,
+    ) -> str:
+        """Settle a running job as ``done`` or ``failed``.
+
+        If cancellation was requested while the job ran, the job settles
+        as ``cancelled`` instead (the result is discarded — the caller
+        asked for the job not to count).  Returns the state actually
+        recorded.
+        """
+        if state not in ("done", "failed"):
+            raise InvalidTransition(
+                f"finish() settles 'done' or 'failed', not {state!r}"
+            )
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT state, cancel_requested, owner_pid FROM jobs "
+                "WHERE id = ?",
+                (int(job_id),),
+            ).fetchone()
+            if row is None:
+                raise JobNotFound(f"no job {job_id}")
+            if row["state"] != "running":
+                raise InvalidTransition(
+                    f"job {job_id} is {row['state']}, not running"
+                )
+            if owner_pid is not None and row["owner_pid"] != owner_pid:
+                raise InvalidTransition(
+                    f"job {job_id} is owned by pid {row['owner_pid']}, "
+                    f"not {owner_pid}"
+                )
+            final = "cancelled" if row["cancel_requested"] else state
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, result = ?, error = ?, "
+                "owner_pid = NULL, lease_deadline = NULL, "
+                "finished_at = ? WHERE id = ? AND state = 'running'",
+                (
+                    final,
+                    None if final == "cancelled" or result is None
+                    else json.dumps(result),
+                    error,
+                    time.time(),
+                    int(job_id),
+                ),
+            )
+        return final
+
+    def cancel(self, job_id: int) -> str:
+        """Cancel a job; returns the resulting state.
+
+        Queued jobs cancel immediately; running jobs are *marked* and
+        settle as ``cancelled`` at their worker's next transition
+        (cooperative cancellation — a distributed worker cannot be
+        preempted mid-partition without losing its journal guarantees).
+        Terminal jobs are left alone (idempotent).
+        """
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT state FROM jobs WHERE id = ?", (int(job_id),)
+            ).fetchone()
+            if row is None:
+                raise JobNotFound(f"no job {job_id}")
+            state = row["state"]
+            if state == "queued":
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'cancelled', "
+                    "cancel_requested = 1, finished_at = ? "
+                    "WHERE id = ? AND state = 'queued'",
+                    (time.time(), int(job_id)),
+                )
+                return "cancelled"
+            if state == "running":
+                self._conn.execute(
+                    "UPDATE jobs SET cancel_requested = 1 "
+                    "WHERE id = ? AND state = 'running'",
+                    (int(job_id),),
+                )
+                return "cancel_requested"
+            return state
+
+    # -- recovery ------------------------------------------------------
+    def requeue_orphans(
+        self,
+        is_alive: Optional[Callable[[int], bool]] = None,
+        now: Optional[float] = None,
+    ) -> List[int]:
+        """Return dead workers' running jobs to their lanes.
+
+        A running job is orphaned when its owner pid no longer exists,
+        or its lease expired (covers pid reuse).  Re-queued jobs keep
+        their original id — oldest-first FIFO puts them at the front of
+        their lane, and their checkpoint journal turns the re-run into
+        a resume.
+        """
+        is_alive = _pid_alive if is_alive is None else is_alive
+        now = time.time() if now is None else now
+        adopted: List[int] = []
+        with self._txn():
+            rows = self._conn.execute(
+                "SELECT id, owner_pid, lease_deadline FROM jobs "
+                "WHERE state = 'running'"
+            ).fetchall()
+            for row in rows:
+                dead = row["owner_pid"] is None or not is_alive(
+                    int(row["owner_pid"])
+                )
+                expired = (
+                    row["lease_deadline"] is not None
+                    and row["lease_deadline"] < now
+                )
+                if dead or expired:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = 'queued', "
+                        "owner_pid = NULL, lease_deadline = NULL, "
+                        "started_at = NULL "
+                        "WHERE id = ? AND state = 'running'",
+                        (int(row["id"]),),
+                    )
+                    adopted.append(int(row["id"]))
+        return adopted
+
+    # -- introspection -------------------------------------------------
+    def get(self, job_id: int) -> Dict[str, Any]:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE id = ?", (int(job_id),)
+        ).fetchone()
+        if row is None:
+            raise JobNotFound(f"no job {job_id}")
+        return self._row_to_dict(row)
+
+    def jobs(
+        self,
+        state: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        query = "SELECT * FROM jobs"
+        clauses, params = [], []
+        if state is not None:
+            clauses.append("state = ?")
+            params.append(state)
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            params.append(tenant)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id"
+        return [
+            self._row_to_dict(row)
+            for row in self._conn.execute(query, params)
+        ]
+
+    def depth(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM jobs WHERE state = 'queued'"
+        ).fetchone()[0]
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue shape for ``repro status`` and the serve driver."""
+        by_state = {state: 0 for state in STATES}
+        for row in self._conn.execute(
+            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+        ):
+            by_state[row["state"]] = int(row["n"])
+        by_lane: Dict[str, int] = {}
+        for row in self._conn.execute(
+            "SELECT lane, COUNT(*) AS n FROM jobs "
+            "WHERE state = 'queued' GROUP BY lane"
+        ):
+            by_lane[lane_name(int(row["lane"]))] = int(row["n"])
+        return {
+            "states": by_state,
+            "queued_by_lane": by_lane,
+            "depth": by_state["queued"],
+            "config": self.config(),
+        }
+
+    @staticmethod
+    def _row_to_dict(row: sqlite3.Row) -> Dict[str, Any]:
+        job = dict(row)
+        job["spec"] = json.loads(job["spec"])
+        job["result"] = (
+            json.loads(job["result"]) if job["result"] else None
+        )
+        job["lane_name"] = lane_name(int(job["lane"]))
+        job["cancel_requested"] = bool(job["cancel_requested"])
+        return job
+
+
+class _Transaction:
+    """``BEGIN IMMEDIATE`` context manager: one writer at a time, commit
+    on success, rollback on any exception."""
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self.conn = conn
+
+    def __enter__(self) -> sqlite3.Connection:
+        self.conn.execute("BEGIN IMMEDIATE")
+        return self.conn
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        if exc_type is None:
+            self.conn.execute("COMMIT")
+        else:
+            self.conn.execute("ROLLBACK")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True

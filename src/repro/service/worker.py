@@ -1,0 +1,393 @@
+"""The warm service worker: claim, resume-or-run, commit, repeat.
+
+One worker is one long-lived process that loops over
+:meth:`~repro.service.store.JobStore.claim`.  Unlike the one-shot CLI,
+everything expensive stays warm between jobs:
+
+* the **runtime** (:class:`~repro.mapreduce.ParallelRuntime` when the
+  job asks for worker processes, else a serial
+  :class:`~repro.mapreduce.LocalRuntime`) is built once per
+  ``(nodes, workers, transport)`` shape and reused — its
+  ``transport_totals`` keep accumulating across jobs, exactly as the
+  dispatch-accounting layer intends;
+* the **plan memo** caches a :class:`~repro.streaming.DMTPlanCache`
+  per (dataset fingerprint, params, sizing): a repeat submission skips
+  the sampling pre-processing job entirely and reuses the cached
+  partition plan (the cache retains the mini-bucket histogram, so a
+  future drift check has what it needs).
+
+Durability is delegated to the PR-5 checkpoint layer: every job runs
+through :func:`~repro.recovery.run_checkpointed` with its journal in
+the job's spool directory.  A worker SIGKILLed mid-job leaves a
+manifest plus the committed partition prefix; when the serve driver
+re-queues the orphan, the next worker *resumes* from the last committed
+partition and produces a byte-identical outlier set.
+
+Each finished job leaves two artifacts next to its checkpoint:
+
+* ``result.json`` — the job report (outliers, timings, recovery
+  counters), what ``repro result`` prints;
+* ``trace.jsonl`` — a :class:`~repro.observability.RunReport` whose
+  root ``service_job`` span holds a ``queue_wait`` child (submit →
+  claim) next to the checkpointed run span, so ``repro trace`` shows
+  queue wait vs run time per job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core import Dataset
+from ..data.io import finite_row_mask
+from ..mapreduce import ClusterConfig, LocalRuntime, ParallelRuntime
+from ..observability import RunReport, Span
+from ..params import OutlierParams
+from ..recovery import run_checkpointed
+from ..recovery.checkpoint import dataset_fingerprint
+from ..streaming import DMTPlanCache
+from .store import JobStore
+
+__all__ = ["ServiceWorker", "worker_main", "RESULT_FILE", "TRACE_FILE"]
+
+RESULT_FILE = "result.json"
+TRACE_FILE = "trace.jsonl"
+
+#: Bounded warm-plan memo: datasets come and go, the worker should not.
+_PLAN_MEMO_SLOTS = 8
+
+#: Seconds between claim attempts while the queue is empty.
+_IDLE_POLL_SECONDS = 0.05
+
+
+def _job_spec_defaults(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Fill a submitted spec with the detect subcommand's defaults."""
+    out = {
+        "input": None,
+        "with_ids": False,
+        "r": None,
+        "k": None,
+        "strategy": "DMT",
+        "detector": "nested_loop",
+        "seed": 1,
+        "nodes": 4,
+        "workers": 0,
+        "transport": "pickle",
+        "kernel": None,
+        "n_partitions": None,
+        "n_reducers": None,
+    }
+    out.update(spec)
+    return out
+
+
+def load_job_dataset(spec: Dict[str, Any]) -> Dataset:
+    """Load the job's CSV exactly as ``repro detect`` would.
+
+    Raises ``ValueError`` on unreadable/empty/non-finite input — the
+    worker converts that into a ``failed`` job, not a dead worker.
+    """
+    path = spec["input"]
+    try:
+        raw = np.loadtxt(path, delimiter=",", ndmin=2)
+    except FileNotFoundError:
+        raise ValueError(f"input file not found: {path}") from None
+    except (OSError, ValueError) as exc:
+        raise ValueError(
+            f"could not read {path} as CSV points: {exc}"
+        ) from exc
+    if raw.shape[0] == 0:
+        raise ValueError(f"{path}: no points")
+    if spec["with_ids"] and raw.shape[1] < 2:
+        raise ValueError(f"{path}: with_ids needs id + coordinates")
+    coords = raw[:, 1:] if spec["with_ids"] else raw
+    if not bool(finite_row_mask(coords).all()):
+        raise ValueError(
+            f"{path}: rows with NaN/inf coordinates; clean the input "
+            "before submitting (the service never guesses)"
+        )
+    if spec["with_ids"]:
+        return Dataset(raw[:, 1:], raw[:, 0].astype(np.int64))
+    return Dataset.from_points(raw)
+
+
+class ServiceWorker:
+    """Claim loop plus the warm state it amortizes across jobs."""
+
+    def __init__(self, spool_dir: str, worker_id: int = 0) -> None:
+        self.store = JobStore(spool_dir)
+        self.worker_id = worker_id
+        self.pid = os.getpid()
+        self._runtimes: Dict[tuple, LocalRuntime] = {}
+        self._plan_memo: "OrderedDict[tuple, DMTPlanCache]" = (
+            OrderedDict()
+        )
+        self.jobs_run = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+    # -- warm state ----------------------------------------------------
+    def _runtime(self, spec: Dict[str, Any]) -> LocalRuntime:
+        key = (
+            int(spec["nodes"]), int(spec["workers"]),
+            str(spec["transport"]),
+        )
+        runtime = self._runtimes.get(key)
+        if runtime is None:
+            cluster = ClusterConfig(nodes=int(spec["nodes"]))
+            if int(spec["workers"]) > 0:
+                runtime = ParallelRuntime(
+                    cluster, workers=int(spec["workers"]),
+                    transport=str(spec["transport"]),
+                )
+            else:
+                runtime = LocalRuntime(cluster)
+            self._runtimes[key] = runtime
+        return runtime
+
+    def _plan_key(self, fingerprint: str, spec: Dict[str, Any],
+                  sizing: Dict[str, int]) -> tuple:
+        return (
+            fingerprint,
+            float(spec["r"]), int(spec["k"]),
+            str(spec["strategy"]), str(spec["detector"]),
+            int(spec["seed"]),
+            sizing["n_partitions"], sizing["n_reducers"],
+        )
+
+    @staticmethod
+    def _sizing(spec: Dict[str, Any], cluster: ClusterConfig
+                ) -> Dict[str, int]:
+        """Mirror run_checkpointed's sizing defaults so the memo key
+        matches what the manifest will record."""
+        n_reducers = spec["n_reducers"]
+        if n_reducers is None:
+            n_reducers = min(cluster.reduce_slots, 64)
+        n_partitions = spec["n_partitions"]
+        if n_partitions is None:
+            n_partitions = 2 * n_reducers
+        return {
+            "n_partitions": int(n_partitions),
+            "n_reducers": int(n_reducers),
+        }
+
+    def _memo_get(self, key: tuple) -> Optional[DMTPlanCache]:
+        cached = self._plan_memo.get(key)
+        if cached is not None:
+            self._plan_memo.move_to_end(key)
+        return cached
+
+    def _memo_put(self, key: tuple, cache: DMTPlanCache) -> None:
+        self._plan_memo[key] = cache
+        self._plan_memo.move_to_end(key)
+        while len(self._plan_memo) > _PLAN_MEMO_SLOTS:
+            self._plan_memo.popitem(last=False)
+
+    # -- one job -------------------------------------------------------
+    def run_job(self, job: Dict[str, Any]) -> str:
+        """Execute one claimed job to a terminal state; returns it."""
+        job_id = int(job["id"])
+        job_dir = self.store.job_dir(job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        try:
+            report, trace = self._execute(job, job_dir)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            with open(os.path.join(job_dir, "error.txt"), "w") as f:
+                f.write(error + "\n\n" + traceback.format_exc())
+            return self.store.finish(
+                job_id, "failed", error=error, owner_pid=self.pid
+            )
+        # Artifacts land before the state flips: a job marked done always
+        # has its result.json (a kill in between re-runs the job, which
+        # the journal turns into a cheap resume).
+        _atomic_write_json(os.path.join(job_dir, RESULT_FILE), report)
+        trace.save(os.path.join(job_dir, TRACE_FILE))
+        final = self.store.finish(
+            job_id, "done", result=report, owner_pid=self.pid
+        )
+        self.jobs_run += 1
+        return final
+
+    def _execute(self, job: Dict[str, Any], job_dir: str):
+        spec = _job_spec_defaults(job["spec"])
+        claimed_at = time.time()
+        dataset = load_job_dataset(spec)
+        params = OutlierParams(r=float(spec["r"]), k=int(spec["k"]))
+        cluster = ClusterConfig(nodes=int(spec["nodes"]))
+        runtime = self._runtime(spec)
+        sizing = self._sizing(spec, cluster)
+        fingerprint = dataset_fingerprint(dataset)
+        key = self._plan_key(fingerprint, spec, sizing)
+        cached = self._memo_get(key)
+        plan_cache_hit = cached is not None
+
+        t0 = time.perf_counter()
+        result = run_checkpointed(
+            dataset, params, os.path.join(job_dir, "ckpt"),
+            strategy=spec["strategy"], detector=spec["detector"],
+            runtime=runtime, cluster=cluster,
+            n_partitions=sizing["n_partitions"],
+            n_reducers=sizing["n_reducers"],
+            seed=int(spec["seed"]), kernel=spec["kernel"],
+            plan=cached.plan if plan_cache_hit else None,
+            manifest_extra={"job_id": int(job["id"]),
+                            "tenant": job["tenant"],
+                            "input": spec["input"]},
+        )
+        run_seconds = time.perf_counter() - t0
+        if plan_cache_hit:
+            self.plan_hits += 1
+            cached.batches_served += 1
+        else:
+            self.plan_misses += 1
+            self._memo_put(
+                key, DMTPlanCache.build(result.plan, dataset.points)
+            )
+
+        queue_wait = max(0.0, claimed_at - float(job["submitted_at"]))
+        counters = result.counters
+        counters.incr("service", "jobs_completed")
+        counters.incr("service", "queue_wait_us",
+                      int(queue_wait * 1e6))
+        counters.incr("service", "run_us", int(run_seconds * 1e6))
+        counters.incr(
+            "service",
+            "plan_cache_hits" if plan_cache_hit
+            else "plan_cache_misses",
+        )
+
+        report = {
+            "job_id": int(job["id"]),
+            "tenant": job["tenant"],
+            "lane": job["lane_name"],
+            "attempts": int(job["attempts"]),
+            "params": {"r": params.r, "k": params.k},
+            "n_points": dataset.n,
+            "outliers": sorted(result.outlier_ids),
+            "n_outliers": len(result.outlier_ids),
+            "resumed": result.resumed,
+            "partitions_replayed": result.replayed_partitions,
+            "partitions_executed": result.executed_partitions,
+            "plan_cache_hit": plan_cache_hit,
+            "queue_wait_seconds": queue_wait,
+            "run_seconds": run_seconds,
+            "worker_pid": self.pid,
+            "recovery": counters.group("recovery"),
+            "service": counters.group("service"),
+        }
+        trace = self._trace_report(job, report, result, queue_wait,
+                                   run_seconds)
+        return report, trace
+
+    def _trace_report(self, job, report, result, queue_wait,
+                      run_seconds) -> RunReport:
+        """A RunReport whose root span splits queue wait from run."""
+        submitted = float(job["submitted_at"])
+        root = Span(
+            name=f"service_job:{job['id']}", kind="run",
+            start=submitted,
+            attrs={
+                "job_id": int(job["id"]),
+                "tenant": job["tenant"],
+                "lane": job["lane_name"],
+                "queue_wait_seconds": queue_wait,
+                "run_seconds": run_seconds,
+                "plan_cache_hit": report["plan_cache_hit"],
+                "resumed": report["resumed"],
+            },
+        )
+        wait_span = Span(
+            name="queue_wait", kind="phase", start=submitted,
+            end=submitted + queue_wait,
+            attrs={"seconds": queue_wait, "lane": job["lane_name"]},
+        )
+        root.children.append(wait_span)
+        if result.trace is not None:
+            root.add_child(result.trace)
+        root.end = time.time()
+        counters = result.counters.as_dict()
+        return RunReport(
+            meta={
+                "strategy": job["spec"].get("strategy", "DMT"),
+                "r": report["params"]["r"],
+                "k": report["params"]["k"],
+                "n_outliers": report["n_outliers"],
+                "n_jobs": 1,
+                "job_id": int(job["id"]),
+                "tenant": job["tenant"],
+                "lane": job["lane_name"],
+            },
+            counters=counters,
+            counter_totals={
+                group: sum(names.values())
+                for group, names in counters.items()
+            },
+            phase_walls={
+                f"service_job:{job['id']}": {
+                    "queue_wait": queue_wait,
+                    "run": run_seconds,
+                },
+            },
+            trace=[root],
+        )
+
+    # -- the loop ------------------------------------------------------
+    def run_forever(
+        self,
+        max_jobs: Optional[int] = None,
+        drain: bool = False,
+        parent_pid: Optional[int] = None,
+        poll_seconds: float = _IDLE_POLL_SECONDS,
+    ) -> int:
+        """Claim and run jobs until told to stop.
+
+        ``drain`` exits once the queue is empty; ``max_jobs`` bounds the
+        number of jobs run; ``parent_pid`` makes the worker exit when
+        its serve driver disappears (orphaned workers must not keep
+        consuming the queue that a restarted driver now owns).
+        Returns the number of jobs run.
+        """
+        ran = 0
+        while True:
+            if max_jobs is not None and ran >= max_jobs:
+                return ran
+            if parent_pid is not None and os.getppid() != parent_pid:
+                return ran
+            job = self.store.claim(owner_pid=self.pid)
+            if job is None:
+                if drain:
+                    return ran
+                time.sleep(poll_seconds)
+                continue
+            self.run_job(job)
+            ran += 1
+
+
+def worker_main(
+    spool_dir: str,
+    worker_id: int,
+    parent_pid: Optional[int] = None,
+    drain: bool = False,
+    max_jobs: Optional[int] = None,
+) -> int:
+    """Entry point the serve driver spawns worker processes on."""
+    worker = ServiceWorker(spool_dir, worker_id=worker_id)
+    return worker.run_forever(
+        max_jobs=max_jobs, drain=drain, parent_pid=parent_pid
+    )
+
+
+def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)

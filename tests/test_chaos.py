@@ -31,6 +31,10 @@ from repro.mapreduce import (
 )
 from repro.params import OutlierParams
 
+# Real process kills and subprocess drivers: multi-second wall time.
+# Tier-1 CI deselects these; the dedicated chaos job runs them.
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 

@@ -1,0 +1,293 @@
+"""Service tier end-to-end: warm workers, client API, CLI acceptance.
+
+The in-process tests drive :class:`ServiceWorker` directly (fast, stays
+in tier-1): results must be byte-identical to one-shot
+``detect_outliers``, repeat submissions must hit the warm plan memo,
+bad inputs must settle as ``failed`` jobs rather than dead workers.
+
+The ``slow``-marked tests are the PR's acceptance path: three tenants
+submit through the real CLI, ``repro serve --drain`` runs a 2-worker
+pool of spawned processes, and every tenant's result matches a one-shot
+``repro detect`` byte for byte; submits past the queue bound fail fast
+with exit code 3.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset, detect_outliers
+from repro.observability import RunReport
+from repro.params import OutlierParams
+from repro.service import (
+    JobFailed,
+    JobStore,
+    ServiceClient,
+    ServiceWorker,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def service_dataset(n=240, seed=11) -> Dataset:
+    rng = np.random.default_rng(seed)
+    pts = np.vstack([
+        rng.normal((8.0, 8.0), 1.0, size=(n - 15, 2)),
+        rng.uniform(0.0, 40.0, size=(15, 2)),
+    ])
+    return Dataset.from_points(pts)
+
+
+DATASET = service_dataset()
+PARAMS = OutlierParams(r=1.2, k=8)
+#: Explicit small sizing keeps the in-process jobs sub-second; the
+#: one-shot oracle uses the same numbers so equality is exact.
+SIZING = dict(n_partitions=6, n_reducers=3, seed=5)
+
+ORACLE = sorted(detect_outliers(
+    DATASET, PARAMS, strategy="DMT", detector="nested_loop",
+    **SIZING,
+).outlier_ids)
+
+
+@pytest.fixture
+def points_csv(tmp_path):
+    path = tmp_path / "points.csv"
+    np.savetxt(path, DATASET.points, delimiter=",", fmt="%.10g")
+    return str(path)
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return str(tmp_path / "spool")
+
+
+def _submit(client, points_csv, **overrides):
+    kwargs = dict(
+        r=PARAMS.r, k=PARAMS.k, seed=SIZING["seed"],
+        n_partitions=SIZING["n_partitions"],
+        n_reducers=SIZING["n_reducers"], nodes=2,
+    )
+    kwargs.update(overrides)
+    return client.submit(points_csv, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# In-process: worker + client (tier-1 fast path)
+# ----------------------------------------------------------------------
+class TestWorkerInProcess:
+    def test_result_matches_one_shot_detect(self, spool, points_csv):
+        with ServiceClient(spool) as client:
+            job_id = _submit(client, points_csv, tenant="acme")
+            worker = ServiceWorker(spool)
+            assert worker.run_forever(drain=True) == 1
+            report = client.result(job_id, timeout=5.0)
+        assert report["outliers"] == ORACLE
+        assert report["plan_cache_hit"] is False
+        assert report["queue_wait_seconds"] >= 0.0
+        assert report["run_seconds"] > 0.0
+
+    def test_repeat_submission_reuses_warm_plan(self, spool, points_csv):
+        with ServiceClient(spool) as client:
+            first = _submit(client, points_csv, tenant="a")
+            second = _submit(client, points_csv, tenant="b")
+            worker = ServiceWorker(spool)
+            assert worker.run_forever(drain=True) == 2
+            assert client.result(first, timeout=5.0)[
+                "plan_cache_hit"] is False
+            repeat = client.result(second, timeout=5.0)
+        # Same dataset + params + sizing on the same warm worker: the
+        # planning job is skipped, the outliers are still exact.
+        assert repeat["plan_cache_hit"] is True
+        assert repeat["outliers"] == ORACLE
+        assert worker.plan_hits == 1 and worker.plan_misses == 1
+        assert repeat["recovery"].get("plan_reused") == 1
+
+    def test_different_params_miss_the_memo(self, spool, points_csv):
+        with ServiceClient(spool) as client:
+            _submit(client, points_csv)
+            other = _submit(client, points_csv, k=PARAMS.k + 1)
+            worker = ServiceWorker(spool)
+            worker.run_forever(drain=True)
+            assert client.result(other, timeout=5.0)[
+                "plan_cache_hit"] is False
+        assert worker.plan_misses == 2
+
+    def test_trace_artifact_splits_wait_from_run(self, spool, points_csv):
+        with ServiceClient(spool) as client:
+            job_id = _submit(client, points_csv)
+            ServiceWorker(spool).run_forever(drain=True)
+            trace_path = client.trace_path(job_id)
+            client.result(job_id, timeout=5.0)
+        report = RunReport.load(trace_path)
+        walls = report.phase_walls[f"service_job:{job_id}"]
+        assert set(walls) == {"queue_wait", "run"}
+        root = report.trace[0]
+        assert root.name == f"service_job:{job_id}"
+        assert root.children[0].name == "queue_wait"
+        assert report.counters["service"]["jobs_completed"] == 1
+
+    def test_unreadable_input_fails_the_job_not_the_worker(
+        self, spool, tmp_path, points_csv
+    ):
+        with ServiceClient(spool) as client:
+            bad = client.submit(
+                str(tmp_path / "missing.csv"), r=1.0, k=2
+            )
+            good = _submit(client, points_csv)
+            worker = ServiceWorker(spool)
+            assert worker.run_forever(drain=True) == 2
+            with pytest.raises(JobFailed, match="not found"):
+                client.result(bad, timeout=5.0)
+            assert client.status(bad)["state"] == "failed"
+            # The worker survived to run the next job.
+            assert client.result(good, timeout=5.0)["outliers"] == ORACLE
+
+    def test_nonfinite_input_fails_with_clear_error(
+        self, spool, tmp_path
+    ):
+        path = tmp_path / "nan.csv"
+        pts = DATASET.points.copy()
+        pts[0, 0] = np.nan
+        np.savetxt(path, pts, delimiter=",", fmt="%.10g")
+        with ServiceClient(spool) as client:
+            job_id = client.submit(str(path), r=1.0, k=2)
+            ServiceWorker(spool).run_forever(drain=True)
+            with pytest.raises(JobFailed, match="NaN/inf"):
+                client.result(job_id, timeout=5.0)
+
+    def test_cancelled_job_is_never_run(self, spool, points_csv):
+        with ServiceClient(spool) as client:
+            job_id = _submit(client, points_csv)
+            assert client.cancel(job_id) == "cancelled"
+            assert ServiceWorker(spool).run_forever(drain=True) == 0
+            with pytest.raises(JobFailed):
+                client.result(job_id, timeout=5.0)
+
+    def test_in_process_server_drains_spawned_pool(
+        self, spool, points_csv
+    ):
+        # The driver itself runs in-process here (its workers are real
+        # spawned processes), so supervision/adoption code is traced.
+        from repro.service import ServiceServer
+
+        with ServiceClient(spool) as client:
+            job_id = _submit(client, points_csv)
+            server = ServiceServer(spool, workers=1)
+            assert server.run(drain=True, max_seconds=180) == 0
+            assert server.workers_spawned >= 1
+            assert server.worker_pids() == []  # pool shut down
+            assert client.result(job_id, timeout=5.0)[
+                "outliers"] == ORACLE
+
+    def test_worker_reuses_runtime_across_jobs(self, spool, points_csv):
+        with ServiceClient(spool) as client:
+            _submit(client, points_csv, tenant="a")
+            _submit(client, points_csv, tenant="b")
+            worker = ServiceWorker(spool)
+            worker.run_forever(drain=True)
+        assert len(worker._runtimes) == 1  # one (nodes,workers,transport)
+
+
+# ----------------------------------------------------------------------
+# CLI acceptance: three tenants through a real spawned worker pool
+# ----------------------------------------------------------------------
+def _repro(args, cwd, timeout=240):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env.pop("REPRO_CHAOS_KILL_AFTER_COMMITS", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=str(cwd), env=env, capture_output=True, text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.slow
+class TestServeAcceptance:
+    def test_three_tenants_two_workers_byte_identical(
+        self, tmp_path, points_csv, spool
+    ):
+        oracle_json = tmp_path / "oracle.json"
+        proc = _repro(
+            ["detect", points_csv, "-r", str(PARAMS.r),
+             "-k", str(PARAMS.k), "--seed", "5",
+             "-o", str(oracle_json)],
+            tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        oracle = json.loads(oracle_json.read_text())["outliers"]
+
+        job_ids = []
+        for index, tenant in enumerate(
+            ["acme", "beta", "gamma"] * 2
+        ):
+            lane = "interactive" if index % 3 == 0 else "batch"
+            proc = _repro(
+                ["submit", points_csv, "-r", str(PARAMS.r),
+                 "-k", str(PARAMS.k), "--seed", "5",
+                 "--spool", spool, "--tenant", tenant,
+                 "--lane", lane],
+                tmp_path,
+            )
+            assert proc.returncode == 0, proc.stderr
+            job_ids.append(int(proc.stdout.strip()))
+
+        proc = _repro(
+            ["serve", "--spool", spool, "--drain", "--workers", "2"],
+            tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "queue drained" in proc.stderr
+
+        pids = set()
+        for job_id in job_ids:
+            out = tmp_path / f"result-{job_id}.json"
+            proc = _repro(
+                ["result", str(job_id), "--spool", spool,
+                 "-o", str(out)],
+                tmp_path,
+            )
+            assert proc.returncode == 0, proc.stderr
+            report = json.loads(out.read_text())
+            assert report["outliers"] == oracle
+            pids.add(report["worker_pid"])
+        # Two workers drained six jobs: with the burst submitted ahead
+        # of the pool, both workers take part.
+        assert len(pids) == 2
+
+    def test_queue_full_submit_exits_3(self, tmp_path, points_csv, spool):
+        with JobStore(spool) as store:
+            store.configure(max_depth=1)
+        ok = _repro(
+            ["submit", points_csv, "-r", "1.2", "-k", "8",
+             "--spool", spool],
+            tmp_path,
+        )
+        assert ok.returncode == 0
+        full = _repro(
+            ["submit", points_csv, "-r", "1.2", "-k", "8",
+             "--spool", spool],
+            tmp_path,
+        )
+        assert full.returncode == 3
+        assert "queue is full" in full.stderr
+
+    def test_status_and_cancel_round_trip(self, tmp_path, points_csv, spool):
+        proc = _repro(
+            ["submit", points_csv, "-r", "1.2", "-k", "8",
+             "--spool", spool],
+            tmp_path,
+        )
+        job_id = proc.stdout.strip()
+        status = _repro(["status", job_id, "--spool", spool], tmp_path)
+        assert json.loads(status.stdout)["state"] == "queued"
+        cancel = _repro(["cancel", job_id, "--spool", spool], tmp_path)
+        assert cancel.returncode == 0
+        assert "cancelled" in cancel.stdout
+        stats = _repro(["status", "--spool", spool], tmp_path)
+        assert json.loads(stats.stdout)["states"]["cancelled"] == 1

@@ -1,0 +1,192 @@
+"""Crash consistency for the service tier: killed workers and drivers.
+
+Reuses the PR-5 chaos hook (``REPRO_CHAOS_KILL_AFTER_COMMITS`` makes
+the checkpoint journal SIGKILL its own process — which in the service
+is the *worker* — right after a durable commit):
+
+* **worker SIGKILL, driver alive** — the serve driver buries the dead
+  worker, re-queues its job at the lane front, and respawns; because
+  the kill hook fires in every respawned worker too, the job only
+  finishes if each incarnation makes durable progress.  A drained
+  queue with byte-identical outliers *is* the convergence proof.
+* **driver SIGKILL, then worker SIGKILL** — nobody is left to adopt
+  the running job, so it sits orphaned in the store; a restarted
+  ``repro serve`` must adopt it on startup, resume from the journal,
+  and settle it with byte-identical outliers.
+
+Everything here spawns real processes and real SIGKILLs — marked
+``chaos`` (and ``slow``) so tier-1 CI skips it; the service CI job runs
+it.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset, detect_outliers
+from repro.params import OutlierParams
+from repro.service import JobStore, ServiceClient
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def chaos_dataset(n=240, seed=11) -> Dataset:
+    rng = np.random.default_rng(seed)
+    pts = np.vstack([
+        rng.normal((8.0, 8.0), 1.0, size=(n - 15, 2)),
+        rng.uniform(0.0, 40.0, size=(15, 2)),
+    ])
+    return Dataset.from_points(pts)
+
+
+DATASET = chaos_dataset()
+PARAMS = OutlierParams(r=1.2, k=8)
+SIZING = dict(n_partitions=6, n_reducers=3, seed=5)
+
+ORACLE = sorted(detect_outliers(
+    DATASET, PARAMS, strategy="DMT", detector="nested_loop", **SIZING,
+).outlier_ids)
+
+
+@pytest.fixture
+def points_csv(tmp_path):
+    path = tmp_path / "points.csv"
+    np.savetxt(path, DATASET.points, delimiter=",", fmt="%.10g")
+    return str(path)
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return str(tmp_path / "spool")
+
+
+def _submit(spool, points_csv, **overrides):
+    with ServiceClient(spool) as client:
+        kwargs = dict(
+            r=PARAMS.r, k=PARAMS.k, seed=SIZING["seed"],
+            n_partitions=SIZING["n_partitions"],
+            n_reducers=SIZING["n_reducers"], nodes=2,
+        )
+        kwargs.update(overrides)
+        return client.submit(points_csv, **kwargs)
+
+
+def _serve_env(kill_after=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env.pop("REPRO_CHAOS_KILL_AFTER_COMMITS", None)
+    if kill_after is not None:
+        # The journal lives in the worker process, so this SIGKILLs
+        # workers (never the driver) right after a durable commit.
+        env["REPRO_CHAOS_KILL_AFTER_COMMITS"] = str(kill_after)
+    return env
+
+
+def _serve(spool, tmp_path, kill_after=None, timeout=240, extra=()):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--spool", spool,
+         "--drain", "--workers", "1", *extra],
+        cwd=str(tmp_path), env=_serve_env(kill_after),
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def _result(spool, job_id):
+    with ServiceClient(spool) as client:
+        return client.result(job_id, timeout=10.0)
+
+
+class TestWorkerKill:
+    def test_killed_worker_resumes_byte_identical(
+        self, spool, points_csv, tmp_path
+    ):
+        job_id = _submit(spool, points_csv)
+        proc = _serve(spool, tmp_path, kill_after=2)
+        assert proc.returncode == 0, proc.stderr
+        # The driver really lost workers and re-queued their job.
+        assert "exited with code" in proc.stderr
+        assert "re-queued 1 orphaned job" in proc.stderr
+
+        report = _result(spool, job_id)
+        assert report["outliers"] == ORACLE
+        assert report["attempts"] > 1
+        assert report["resumed"] is True
+        assert len(report["partitions_replayed"]) >= 1
+
+    def test_every_kill_still_converges_with_two_jobs(
+        self, spool, points_csv, tmp_path
+    ):
+        first = _submit(spool, points_csv, tenant="a")
+        second = _submit(spool, points_csv, tenant="b",
+                         lane="interactive")
+        proc = _serve(spool, tmp_path, kill_after=2)
+        assert proc.returncode == 0, proc.stderr
+        for job_id in (first, second):
+            assert _result(spool, job_id)["outliers"] == ORACLE
+
+
+class TestDriverKill:
+    def _wait_for(self, predicate, timeout=60.0, interval=0.005):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return
+            time.sleep(interval)
+        pytest.fail("condition not reached before timeout")
+
+    def test_restarted_serve_adopts_and_finishes(
+        self, spool, points_csv, tmp_path
+    ):
+        job_id = _submit(spool, points_csv)
+        # Serve forever (no --drain): the worker will SIGKILL itself
+        # after 3 commits; we SIGKILL the driver as soon as the job is
+        # claimed, so nobody is left to re-queue the orphan.
+        driver = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--spool", spool,
+             "--workers", "1"],
+            cwd=str(tmp_path), env=_serve_env(kill_after=3),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            with JobStore(spool) as store:
+                self._wait_for(
+                    lambda: store.get(job_id)["state"] == "running"
+                )
+                os.kill(driver.pid, signal.SIGKILL)
+                driver.wait(timeout=30)
+
+                def orphaned():
+                    job = store.get(job_id)
+                    if job["state"] != "running":
+                        return False
+                    try:
+                        os.kill(int(job["owner_pid"]), 0)
+                    except (ProcessLookupError, TypeError):
+                        return True
+                    return False
+
+                self._wait_for(orphaned)
+                # Driver dead, worker dead, job stuck running: the
+                # exact state a crashed host leaves behind.
+                assert store.get(job_id)["state"] == "running"
+        finally:
+            if driver.poll() is None:  # pragma: no cover - lost race
+                driver.kill()
+                driver.wait(timeout=30)
+
+        restarted = _serve(spool, tmp_path)  # clean env: no kill hook
+        assert restarted.returncode == 0, restarted.stderr
+        assert "adopted 1 in-flight job" in restarted.stderr
+
+        report = _result(spool, job_id)
+        assert report["outliers"] == ORACLE
+        assert report["attempts"] >= 2
+        assert report["resumed"] is True
+        assert len(report["partitions_replayed"]) >= 1
