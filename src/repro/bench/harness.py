@@ -40,6 +40,7 @@ from typing import Any, Dict, List
 
 from ..core import detect_outliers
 from ..data import region_dataset
+from ..detectors import METRIC_GENERIC_DETECTORS
 from ..kernels import make_kernel
 from ..mapreduce import (
     ClusterConfig,
@@ -82,7 +83,7 @@ class BenchConfig:
     r: float = 2.0
     k: int = 12
     strategy: str = "DMT"
-    detectors: tuple = ("nested_loop", "cell_based")
+    detectors: tuple = ("nested_loop", "cell_based", "proximity_graph")
     transports: tuple = ("pickle", "shm")
     #: Distance backends for the serial kernel axis; parallel cells all
     #: run on the last entry (the production default).
@@ -93,6 +94,9 @@ class BenchConfig:
     n_reducers: int = 8
     seed: int = 7
     nodes: int = 4
+    #: Distance metric spec; "euclidean" is the default and is omitted
+    #: from the workload dict so pre-existing baselines compare clean.
+    metric: str = "euclidean"
     #: HDFS block size in records — one map task per block, so this sets
     #: map-side parallelism (the paper ties map tasks to block count).
     block_records: int = 250
@@ -164,6 +168,7 @@ def _run_cell(
             n_reducers=config.n_reducers,
             cluster=cluster, runtime=runtime, seed=config.seed,
             kernel=kernel_spec,
+            metric=None if config.metric == "euclidean" else config.metric,
         )
         walls.append(time.perf_counter() - start)
         detect_walls.append(last.detect_wall)
@@ -207,6 +212,17 @@ def _run_cell(
         "cost_units": last.map_units + last.reduce_units,
         "shuffle_records": last.run.total_shuffle_records(),
     }
+    if config.metric != "euclidean":
+        cell["metric"] = config.metric
+    graph_certified = counters.get("graph", "certified")
+    graph_residue = counters.get("graph", "residue")
+    if graph_certified or graph_residue:
+        # Deterministic proximity-graph effectiveness: the fraction of
+        # core points the K-neighbor graph could NOT certify and that
+        # fell through to the exact residue scan.
+        cell["residue_fraction"] = graph_residue / (
+            graph_certified + graph_residue
+        )
     if kernel_walls:
         # Backend-body wall (Kernel.wall_seconds): exactly the work the
         # backends implement differently, so the python/numpy speedup
@@ -245,7 +261,21 @@ def run_bench(config: BenchConfig, log=None) -> Dict[str, Any]:
         )
     runs: List[Dict[str, Any]] = []
     default_kernel = config.kernels[-1]
-    for detector in config.detectors:
+    detectors = config.detectors
+    if config.metric != "euclidean":
+        skipped = [
+            d for d in detectors if d not in METRIC_GENERIC_DETECTORS
+        ]
+        detectors = tuple(
+            d for d in detectors if d in METRIC_GENERIC_DETECTORS
+        )
+        if skipped and log is not None:
+            # Never a silent cap: the matrix shrank, say so.
+            log(
+                f"  skipping {', '.join(skipped)}: Euclidean-only under "
+                f"metric {config.metric!r}"
+            )
+    for detector in detectors:
         for kernel in config.kernels:
             runs.append(
                 _run_cell(
@@ -260,32 +290,40 @@ def run_bench(config: BenchConfig, log=None) -> Dict[str, Any]:
                     default_kernel, log,
                 )
             )
+    workload = {
+        "region": config.region,
+        "n_points": dataset.n,
+        "r": config.r,
+        "k": config.k,
+        "strategy": config.strategy,
+        "n_partitions": config.n_partitions,
+        "n_reducers": config.n_reducers,
+        "workers": config.workers,
+        "seed": config.seed,
+        "block_records": config.block_records,
+        "kernels": list(config.kernels),
+    }
+    if config.metric != "euclidean":
+        workload["metric"] = config.metric
     return {
         "schema_version": SCHEMA_VERSION,
         "label": config.label,
-        "workload": {
-            "region": config.region,
-            "n_points": dataset.n,
-            "r": config.r,
-            "k": config.k,
-            "strategy": config.strategy,
-            "n_partitions": config.n_partitions,
-            "n_reducers": config.n_reducers,
-            "workers": config.workers,
-            "seed": config.seed,
-            "block_records": config.block_records,
-            "kernels": list(config.kernels),
-        },
+        "workload": workload,
         "runs": runs,
-        "derived": _derive(runs, config),
+        "derived": _derive(runs, config, detectors),
     }
 
 
-def _derive(runs: List[Dict[str, Any]], config: BenchConfig) -> Dict[str, Any]:
+def _derive(
+    runs: List[Dict[str, Any]],
+    config: BenchConfig,
+    detectors: tuple | None = None,
+) -> Dict[str, Any]:
     """Cross-cell summaries: transport agreement + dispatch overhead."""
     derived: Dict[str, Any] = {"per_detector": {}}
     identical = True
-    for detector in config.detectors:
+    for detector in (detectors if detectors is not None
+                     else config.detectors):
         cells = [r for r in runs if r["detector"] == detector]
         hashes = {c["outliers_hash"] for c in cells}
         identical &= len(hashes) == 1
@@ -388,7 +426,7 @@ def check_against(
 
     exact_fields = (
         "n_outliers", "outliers_hash", "distance_evals", "cost_units",
-        "shuffle_records",
+        "shuffle_records", "residue_fraction",
     )
     for cell_key, base in base_cells.items():
         fresh = run_cells[cell_key]

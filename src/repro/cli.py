@@ -45,6 +45,7 @@ import numpy as np
 from . import data as datagen
 from .core import Dataset, detect_outliers, resolve_strategy
 from .kernels import KERNEL_CHOICES, KernelUnavailable, resolve_kernel
+from .metrics import METRIC_CHOICES, MetricUnsupported, resolve_metric
 from .mapreduce import (
     TRANSPORTS,
     ClusterConfig,
@@ -150,6 +151,11 @@ def _validate_runtime_flags(args) -> tuple[list, list]:
         resolve_kernel(getattr(args, "kernel", None))
     except KernelUnavailable as exc:
         errors.append(str(exc))
+    try:
+        # Same early-exit policy for a malformed --metric spec.
+        resolve_metric(getattr(args, "metric", None))
+    except (ValueError, MetricUnsupported) as exc:
+        errors.append(str(exc))
     if args.speculate and args.timeout is None and not errors:
         warnings.append(
             "warning: --speculate without --timeout: stragglers are "
@@ -252,12 +258,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         dataset, params, strategy=args.strategy,
         detector=args.detector, cluster=cluster, seed=args.seed,
         runtime=_build_runtime(args, cluster), kernel=args.kernel,
+        metric=args.metric,
     )
     report = {
         "n_points": dataset.n,
         "params": {"r": params.r, "k": params.k},
         "strategy": result.strategy,
         "kernel": resolve_kernel(args.kernel).name,
+        "metric": resolve_metric(args.metric).spec(),
         "outliers": sorted(result.outlier_ids),
         "n_outliers": len(result.outlier_ids),
         "detector_usage": result.run.detector_usage,
@@ -276,7 +284,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _checkpoint_report(result, params) -> dict:
+def _checkpoint_report(result, params, metric: str) -> dict:
     report = {
         "params": {"r": params.r, "k": params.k},
         "outliers": sorted(result.outlier_ids),
@@ -285,6 +293,7 @@ def _checkpoint_report(result, params) -> dict:
         "partitions_replayed": result.replayed_partitions,
         "partitions_executed": result.executed_partitions,
         "recovery": result.counters.group("recovery"),
+        "metric": metric,
     }
     if _last_quarantined:
         report["rows_quarantined"] = _last_quarantined
@@ -302,6 +311,7 @@ def _run_checkpointed_cli(args, checkpoint_dir: str) -> int:
             strategy=args.strategy, detector=args.detector,
             runtime=_build_runtime(args, cluster), cluster=cluster,
             seed=args.seed, kernel=args.kernel,
+            metric=getattr(args, "metric", None),
             manifest_extra={
                 "input": args.input,
                 "with_ids": bool(args.with_ids),
@@ -317,7 +327,10 @@ def _run_checkpointed_cli(args, checkpoint_dir: str) -> int:
             f"{len(result.executed_partitions)} re-executed",
             file=sys.stderr,
         )
-    _write_report(_checkpoint_report(result, params), args.output)
+    metric = resolve_metric(getattr(args, "metric", None)).spec()
+    _write_report(
+        _checkpoint_report(result, params, metric), args.output
+    )
     return 0
 
 
@@ -356,6 +369,9 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     ns.strategy = config["strategy"]
     ns.detector = config["detector"]
     ns.seed = int(config["seed"])
+    # The metric is run identity: the manifest's record wins, so a
+    # resume never silently re-detects under a different distance.
+    ns.metric = config.get("metric")
     ns.quarantine_out = None
     return _run_checkpointed_cli(ns, args.checkpoint_dir)
 
@@ -372,6 +388,7 @@ def _streaming_detector(args, params, cluster):
         drift_threshold=args.drift_threshold,
         seed=args.seed,
         kernel=args.kernel,
+        metric=args.metric,
     )
 
 
@@ -395,6 +412,7 @@ def _stream_report(detector, params, batches: list) -> dict:
         "n_points": detector.n_seen,
         "params": {"r": params.r, "k": params.k},
         "strategy": detector.strategy.name,
+        "metric": detector.metric or "euclidean",
         "outliers": sorted(detector.outlier_ids),
         "n_outliers": len(detector.outlier_ids),
         "batches": batches,
@@ -450,7 +468,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 strategy=args.strategy, detector=args.detector,
                 runtime=_build_runtime(args, cluster), cluster=cluster,
                 drift_threshold=args.drift_threshold, seed=args.seed,
-                kernel=args.kernel,
+                kernel=args.kernel, metric=args.metric,
             )
         except ValueError as exc:
             raise CLIError(str(exc)) from exc
@@ -570,6 +588,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 detector=args.detector, seed=args.seed,
                 nodes=args.nodes, workers=args.workers,
                 transport=args.transport, kernel=args.kernel,
+                metric=args.metric,
                 with_ids=args.with_ids,
             )
         except QueueFull as exc:
@@ -832,10 +851,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["workers"] = args.workers
     if args.base_n is not None:
         overrides["base_n"] = args.base_n
+    if args.r is not None:
+        overrides["r"] = args.r
+    if args.k is not None:
+        overrides["k"] = args.k
     if args.detectors:
         overrides["detectors"] = tuple(args.detectors.split(","))
     if args.kernels:
         overrides["kernels"] = tuple(args.kernels.split(","))
+    if args.metric:
+        try:
+            overrides["metric"] = resolve_metric(args.metric).spec()
+        except (ValueError, MetricUnsupported) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.quick:
         config = BenchConfig.quick(**overrides)
     else:
@@ -968,6 +997,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "identical, only wall time changes "
                             "(default: auto = $REPRO_KERNEL or numpy)")
 
+    def add_metric_flag(p):
+        p.add_argument("--metric", default=None, metavar="SPEC",
+                       help="distance metric: "
+                            + ", ".join(METRIC_CHOICES)
+                            + "; minkowski takes 'minkowski:P' (e.g. "
+                            "minkowski:1 for Manhattan). Unlike --kernel "
+                            "this changes the answer: non-Euclidean runs "
+                            "use metric-safe pivot partitioning and "
+                            "require a metric-generic detector "
+                            "(default: auto = $REPRO_METRIC or euclidean)")
+
     det = sub.add_parser("detect", help="run the detection pipeline")
     add_common(det)
     det.add_argument("--detector", default="nested_loop")
@@ -991,6 +1031,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "re-runs only the rest)")
     add_runtime_flags(det)
     add_kernel_flag(det)
+    add_metric_flag(det)
     det.set_defaults(func=_cmd_detect)
 
     resume = sub.add_parser(
@@ -1004,6 +1045,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write JSON report here")
     add_runtime_flags(resume)
     add_kernel_flag(resume)
+    add_metric_flag(resume)
     resume.set_defaults(func=_cmd_resume)
 
     stream = sub.add_parser(
@@ -1032,6 +1074,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "to a clean start)")
     add_runtime_flags(stream)
     add_kernel_flag(stream)
+    add_metric_flag(stream)
     stream.set_defaults(func=_cmd_stream)
 
     def add_spool_flag(p):
@@ -1088,6 +1131,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--transport", choices=list(TRANSPORTS),
                         default="pickle")
     add_kernel_flag(submit)
+    add_metric_flag(submit)
     submit.add_argument("--wait", type=float, metavar="SECONDS",
                         default=None,
                         help="block for the result up to SECONDS "
@@ -1186,11 +1230,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the parallel cells")
     bench.add_argument("--base-n", type=int, default=None,
                        help="base dataset size (region generator)")
+    bench.add_argument("--r", type=float, default=None,
+                       help="distance threshold in the metric's units "
+                            "(km for haversine; default 2.0)")
+    bench.add_argument("--k", type=int, default=None,
+                       help="neighbor count threshold (default 12)")
     bench.add_argument("--detectors", default=None,
                        help="comma-separated detector list")
     bench.add_argument("--kernels", default=None,
                        help="comma-separated kernel backends for the "
                             "serial kernel axis (default python,numpy)")
+    bench.add_argument("--metric", default=None, metavar="SPEC",
+                       help="distance metric for the whole matrix; "
+                            "non-Euclidean metrics drop Euclidean-only "
+                            "detectors from the detector axis and are "
+                            "recorded in the workload identity")
     bench.add_argument("-o", "--output", default=None,
                        help="output path (default BENCH_<label>.json)")
     bench.add_argument("--check", metavar="BASELINE",

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..detectors import make_partition_detector
+from ..metrics import MetricUnsupported, resolve_metric
 from ..mapreduce import (
     DictPartitioner,
     HashPartitioner,
@@ -69,6 +70,24 @@ def _charge_kernel_counters(ctx: TaskContext, result) -> None:
     # (the transport-equivalence suite compares them bit-for-bit).  The
     # bench harness measures backend wall by threading a shared Kernel
     # instance through serial runs and reading Kernel.wall_seconds.
+
+
+def _charge_graph_counters(ctx: TaskContext, result) -> None:
+    """Roll a proximity-graph result into the ``graph`` counter group:
+    how many core points the neighbor graph certified for free, how many
+    fell through to the exact residue scan, and what the graph build
+    itself charged.  All deterministic (certification is a pure function
+    of the seeded graph)."""
+    extras = result.extras
+    if "graph_certified" not in extras:
+        return  # not a proximity-graph result
+    ctx.counters.incr("graph", "tasks")
+    ctx.counters.incr("graph", "certified", int(extras["graph_certified"]))
+    ctx.counters.incr("graph", "residue", int(extras["graph_residue"]))
+    ctx.counters.incr(
+        "graph", "graph_distance_evals",
+        int(extras["graph_distance_evals"]),
+    )
 
 
 @dataclass
@@ -157,11 +176,13 @@ class _DODReducer(Reducer):
         algorithm_plan: Dict[int, Optional[str]],
         default_algorithm: str,
         kernel: Optional[str] = None,
+        metric: Optional[str] = None,
     ) -> None:
         self.params = params
         self.algorithm_plan = algorithm_plan
         self.default_algorithm = default_algorithm
         self.kernel = kernel
+        self.metric = metric
 
     def reduce(self, key, values, ctx: TaskContext):
         core_ids: List[int] = []
@@ -179,7 +200,7 @@ class _DODReducer(Reducer):
         # Seeded per partition: partitions must not share one scan
         # permutation (correlated early-termination across reducers).
         detector = make_partition_detector(
-            algorithm, key, kernel=self.kernel
+            algorithm, key, kernel=self.kernel, metric=self.metric
         )
         ndim = len(core_pts[0])
         result = detector.run(
@@ -199,6 +220,7 @@ class _DODReducer(Reducer):
             "dod", "distance_evals", int(result.distance_evals)
         )
         _charge_kernel_counters(ctx, result)
+        _charge_graph_counters(ctx, result)
         for outlier_id in result.outlier_ids:
             yield outlier_id
 
@@ -210,9 +232,11 @@ class DODFramework:
         self,
         default_algorithm: str = "nested_loop",
         kernel: Optional[str] = None,
+        metric: Optional[str] = None,
     ) -> None:
         self.default_algorithm = default_algorithm
         self.kernel = kernel
+        self.metric = metric
 
     def run(
         self,
@@ -232,7 +256,7 @@ class DODFramework:
             mapper=_DODMapper(plan, params.r),
             reducer=_DODReducer(
                 params, plan.algorithm_plan, self.default_algorithm,
-                kernel=self.kernel,
+                kernel=self.kernel, metric=self.metric,
             ),
             n_reducers=n_reducers,
             partitioner=partitioner,
@@ -325,6 +349,7 @@ class _LocalDetectReducer(Reducer):
             "dod", "distance_evals", int(result.distance_evals)
         )
         _charge_kernel_counters(ctx, result)
+        _charge_graph_counters(ctx, result)
         local_outliers = set(result.outlier_ids)
 
         # Exact local counts for the local outliers only (one scan each).
@@ -412,13 +437,25 @@ class _ConfirmReducer(Reducer):
 
 
 class DomainBaseline:
-    """The two-job Domain pipeline (exact, but pays a second pass)."""
+    """The two-job Domain pipeline (exact, but pays a second pass).
+
+    Euclidean-only: the border test (``rect.distance_to_boundary``) and
+    the confirm-pass counts are rectangle geometry, so a non-Euclidean
+    metric is rejected up front rather than silently mis-answered.
+    """
 
     def __init__(
         self,
         default_algorithm: str = "nested_loop",
         kernel: Optional[str] = None,
+        metric: Optional[str] = None,
     ) -> None:
+        if metric is not None and not resolve_metric(metric).is_euclidean:
+            raise MetricUnsupported(
+                "the Domain baseline confirms border candidates with "
+                "rectangle geometry; use a supporting-area strategy "
+                "for non-Euclidean metrics"
+            )
         self.default_algorithm = default_algorithm
         self.kernel = kernel
 

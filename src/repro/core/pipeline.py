@@ -31,12 +31,16 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..detectors import METRIC_GENERIC_DETECTORS
 from ..kernels import resolve_kernel
 from ..mapreduce import ClusterConfig, LocalRuntime
+from ..metrics import MetricUnsupported, resolve_metric
 from ..observability import RunReport, Span, Tracer
 from ..params import JOB_STARTUP_SECONDS, UNIT_SECONDS
 from ..partitioning import (
+    METRIC_SAFE_STRATEGIES,
     STRATEGY_REGISTRY,
+    MetricSafePartitioner,
     PartitioningStrategy,
     PlanRequest,
 )
@@ -182,6 +186,7 @@ def detect_outliers(
     plan=None,
     tracer: Optional[Tracer] = None,
     kernel: Optional[str] = None,
+    metric: Optional[str] = None,
 ) -> PipelineResult:
     """Detect all distance-threshold outliers in ``dataset``.
 
@@ -191,6 +196,14 @@ def detect_outliers(
     on (``"python"``/``"numpy"``/``"numba"``; ``None`` resolves to the
     default) — results are backend-independent by the kernel ABI's
     exactness contract, only wall time changes.
+    ``metric`` picks the distance function (``"euclidean"``/
+    ``"minkowski:p"``/``"haversine"``/``"edit_distance"``; ``None``
+    resolves to the default).  Unlike the kernel, the metric *defines*
+    the answer: under a non-Euclidean metric the grid strategies and
+    detectors are replaced or rejected — the strategy degrades to the
+    metric-safe pivot partitioner, and a non-metric-generic ``detector``
+    raises :class:`~repro.metrics.MetricUnsupported` up front instead of
+    returning a wrong answer.
     Sizing defaults adapt to the dataset: ``n_reducers`` from the cluster
     (capped at 64 in-process), ``n_partitions`` = 2x reducers,
     ``n_buckets`` ~ n/20 mini buckets (within [64, 1024]), and
@@ -213,6 +226,15 @@ def detect_outliers(
     # Resolve eagerly: an unavailable backend (numba without numba) must
     # fail here with a clear error, not inside a reducer subprocess.
     kernel_name = resolve_kernel(kernel).name
+    metric_obj = resolve_metric(metric)
+    # Euclidean threads ``None`` downstream so the default path stays
+    # byte-identical to a metric-unaware run.
+    metric_arg = None if metric_obj.is_euclidean else metric_obj.spec()
+    if metric_arg is not None and detector not in METRIC_GENERIC_DETECTORS:
+        raise MetricUnsupported(
+            f"detector {detector!r} assumes Euclidean geometry; "
+            f"metric-generic detectors: {sorted(METRIC_GENERIC_DETECTORS)}"
+        )
     runtime = runtime or LocalRuntime(cluster)
     tracer = tracer or runtime.tracer or Tracer()
     if n_reducers is None:
@@ -233,8 +255,17 @@ def detect_outliers(
             r=params.r, k=params.k, n_points=dataset.n,
             n_reducers=n_reducers,
         ) as run_span:
+            degraded_from: Optional[str] = None
             if plan is None:
                 strategy = resolve_strategy(strategy)
+                if (
+                    metric_arg is not None
+                    and strategy.name not in METRIC_SAFE_STRATEGIES
+                ):
+                    # Graceful degrade: grid tactics are meaningless in a
+                    # general metric space, so plan with pivot balls.
+                    degraded_from = strategy.name
+                    strategy = MetricSafePartitioner(metric=metric_obj)
                 request = PlanRequest(
                     domain=dataset.bounds,
                     params=params,
@@ -243,25 +274,41 @@ def detect_outliers(
                     n_buckets=n_buckets,
                     sample_rate=sample_rate,
                     seed=seed,
+                    metric=metric_arg,
                 )
                 plan = strategy.timed_plan(runtime, records, request)
                 uses_support = strategy.uses_support_area
                 strategy_name = strategy.name
             else:
+                if metric_arg is not None:
+                    plan_metric = getattr(plan, "metric_spec", None)
+                    if plan_metric is None:
+                        raise MetricUnsupported(
+                            "precomputed rectangle plans assume Euclidean "
+                            "geometry; build the plan with the MetricSafe "
+                            "strategy for non-Euclidean metrics"
+                        )
+                    if plan_metric != metric_arg:
+                        raise ValueError(
+                            f"plan was built under metric {plan_metric!r} "
+                            f"but the run requested {metric_arg!r}"
+                        )
                 uses_support = plan.strategy != "Domain"
                 strategy_name = plan.strategy
 
             start = time.perf_counter()
             if uses_support:
                 framework = DODFramework(
-                    default_algorithm=detector, kernel=kernel
+                    default_algorithm=detector, kernel=kernel,
+                    metric=metric_arg,
                 )
                 run = framework.run(
                     runtime, records, plan, params, n_reducers
                 )
             else:
                 baseline = DomainBaseline(
-                    default_algorithm=detector, kernel=kernel
+                    default_algorithm=detector, kernel=kernel,
+                    metric=metric_arg,
                 )
                 run = baseline.run(
                     runtime, records, plan, params, n_reducers
@@ -283,6 +330,10 @@ def detect_outliers(
                 kernel=kernel_name,
                 n_outliers=len(run.outlier_ids),
             )
+            if metric_arg is not None:
+                run_span.annotate(metric=metric_arg)
+            if degraded_from is not None:
+                run_span.annotate(strategy_degraded_from=degraded_from)
     finally:
         runtime.tracer = prev_tracer
 

@@ -7,6 +7,7 @@ from .bucketwise import (
 )
 
 from .models import (
+    ALL_TACTICS,
     CELL_WEIGHT,
     INDEX_WEIGHT,
     SCAN_FLOOR,
@@ -19,6 +20,8 @@ from .models import (
     expected_occupied_cells,
     kdtree_cost,
     nested_loop_cost,
+    pivot_cost,
+    proximity_graph_cost,
     select_algorithm,
 )
 
@@ -26,6 +29,7 @@ __all__ = [
     "bucketwise_best_algorithm",
     "bucketwise_cost",
     "density_regimes",
+    "ALL_TACTICS",
     "CELL_WEIGHT",
     "INDEX_WEIGHT",
     "SCAN_FLOOR",
@@ -38,5 +42,7 @@ __all__ = [
     "estimate_cost",
     "kdtree_cost",
     "nested_loop_cost",
+    "pivot_cost",
+    "proximity_graph_cost",
     "select_algorithm",
 ]

@@ -81,8 +81,10 @@ __all__ = [
     "cell_based_ring_cost",
     "kdtree_cost",
     "pivot_cost",
+    "proximity_graph_cost",
     "select_algorithm",
     "estimate_cost",
+    "ALL_TACTICS",
     "CostModel",
 ]
 
@@ -264,6 +266,47 @@ def pivot_cost(
     return INDEX_WEIGHT * n_pivots * n / 8.0 + n * per_point
 
 
+def proximity_graph_cost(
+    n: float,
+    area: float,
+    params: OutlierParams,
+    ndim: int = 2,
+    graph_k: int | None = None,
+    iters: int = 3,
+) -> float:
+    """Cost model for the proximity-graph tactic.
+
+    Three terms, mirroring the detector's phases:
+
+    * graph build — NN-descent evaluates roughly ``K`` initial edges per
+      point plus local joins of ~``K^2/2`` candidates per refinement
+      round: ``n * K * (1 + iters * K / 2)``;
+    * certification — one pass over stored flags, charged at the index
+      weight;
+    * residue scan — the uncertified fraction pays Lemma 4.1.  With
+      expected neighbor count ``mu = rho * A(p)``, a point fails
+      certification roughly when its k-th neighbor falls outside ``r``;
+      ``min(k / mu, 1)`` is the crude-but-monotone proxy (dense data
+      certifies almost everything, sparse data degrades to a full
+      Nested-Loop — at which point Corollary 4.3 will not pick this
+      tactic).
+
+    The degenerate zero-area partition is the infinitely-dense limit:
+    ``mu = inf`` makes the residue term vanish and the (finite) build
+    term dominates, so costs stay finite and commensurable with the
+    other four tactics.
+    """
+    if n <= 0:
+        return 0.0
+    K = graph_k if graph_k is not None else params.k + 4
+    K = max(1.0, min(float(K), max(n - 1.0, 1.0)))
+    build = n * K * (1.0 + iters * K / 2.0)
+    mu = density(n, area) * ball_volume(params.r, ndim)
+    residue_frac = 1.0 if mu <= 0 else min(params.k / mu, 1.0)
+    residue = residue_frac * nested_loop_cost(n, area, params, ndim)
+    return INDEX_WEIGHT * n + build + residue
+
+
 #: Model registry aligned with the detector registry names.
 _MODELS = {
     "nested_loop": nested_loop_cost,
@@ -271,7 +314,19 @@ _MODELS = {
     "cell_based_ring": cell_based_ring_cost,
     "kdtree": kdtree_cost,
     "pivot": pivot_cost,
+    "proximity_graph": proximity_graph_cost,
 }
+
+#: The five tactic families Corollary 4.3 can choose among (the ring
+#: detector is a variant of cell_based and shares its regime structure).
+#: The DMT default stays the paper's pair — pass this to widen selection.
+ALL_TACTICS = (
+    "nested_loop",
+    "cell_based",
+    "kdtree",
+    "pivot",
+    "proximity_graph",
+)
 
 
 def estimate_cost(

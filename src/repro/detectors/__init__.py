@@ -9,6 +9,7 @@ from .cell_based import (
 from .kdtree import KDTreeDetector
 from .nested_loop import NestedLoopDetector
 from .pivot import PivotDetector, select_pivots_maxmin
+from .proximity_graph import ProximityGraphDetector
 
 #: Registry used by algorithm plans: name -> constructor.
 DETECTOR_REGISTRY = {
@@ -17,7 +18,15 @@ DETECTOR_REGISTRY = {
     CellBasedRingDetector.name: CellBasedRingDetector,
     KDTreeDetector.name: KDTreeDetector,
     PivotDetector.name: PivotDetector,
+    ProximityGraphDetector.name: ProximityGraphDetector,
 }
+
+#: Detectors that are exact under any registered metric; the rest rely
+#: on Euclidean grid/axis geometry and raise ``MetricUnsupported`` when
+#: constructed with a non-Euclidean metric.
+METRIC_GENERIC_DETECTORS = tuple(
+    name for name, cls in DETECTOR_REGISTRY.items() if cls.metric_generic
+)
 
 
 def make_detector(name: str, **kwargs) -> Detector:
@@ -27,7 +36,9 @@ def make_detector(name: str, **kwargs) -> Detector:
     detectors (``Detector.uses_kernel``); detectors with their own index
     structures (kdtree, pivot) ignore it, so one kernel spec can be
     threaded through a whole run regardless of the per-partition
-    algorithm plan.
+    algorithm plan.  A ``metric`` keyword selects the metric space —
+    every detector accepts it, and the grid tactics raise a typed
+    ``MetricUnsupported`` at construction when it is non-Euclidean.
     """
     try:
         cls = DETECTOR_REGISTRY[name]
@@ -56,16 +67,19 @@ def partition_scan_seed(partition_id: int, base_seed: int = 7) -> int:
 
 
 def make_partition_detector(
-    name: str, partition_id: int, kernel=None, **kwargs
+    name: str, partition_id: int, kernel=None, metric=None, **kwargs
 ) -> Detector:
     """Instantiate a detector seeded for one partition.
 
     Detectors without a ``seed`` attribute (deterministic scan orders)
     are returned unchanged.  ``kernel`` threads the distance backend to
-    scan-based detectors (ignored by the others).
+    scan-based detectors (ignored by the others); ``metric`` threads the
+    metric space to every detector.
     """
     if kernel is not None:
         kwargs = {**kwargs, "kernel": kernel}
+    if metric is not None:
+        kwargs = {**kwargs, "metric": metric}
     detector = make_detector(name, **kwargs)
     if hasattr(detector, "seed") and "seed" not in kwargs:
         detector.seed = partition_scan_seed(
@@ -82,9 +96,11 @@ __all__ = [
     "CellBasedRingDetector",
     "KDTreeDetector",
     "PivotDetector",
+    "ProximityGraphDetector",
     "select_pivots_maxmin",
     "candidate_radius",
     "DETECTOR_REGISTRY",
+    "METRIC_GENERIC_DETECTORS",
     "make_detector",
     "make_partition_detector",
     "partition_scan_seed",

@@ -34,6 +34,7 @@ def random_scan_counts(
     chunk: int = 256,
     seed: int = 7,
     kernel=None,
+    metric=None,
 ) -> tuple[np.ndarray, int]:
     """Count neighbors of each query among ``candidates`` scanned in a
     random order, stopping per query once ``need`` matches are found.
@@ -58,4 +59,6 @@ def random_scan_counts(
     rng = np.random.default_rng(seed)
     order = rng.permutation(candidates.shape[0])
     backend = resolve_kernel(kernel, tile=chunk)
-    return backend.count_neighbors(queries, candidates[order], r, need)
+    return backend.count_neighbors(
+        queries, candidates[order], r, need, metric=metric
+    )

@@ -87,6 +87,12 @@ class Detector(abc.ABC):
     #: ``kernel`` constructor argument.
     uses_kernel: bool = False
 
+    #: True for detectors that are correct under any
+    #: :class:`~repro.metrics.Metric`.  Grid/coordinate-index tactics
+    #: leave this False and raise ``MetricUnsupported`` when constructed
+    #: with a non-Euclidean metric — a typed error, never a wrong answer.
+    metric_generic: bool = False
+
     @abc.abstractmethod
     def detect(
         self,
@@ -122,6 +128,14 @@ class Detector(abc.ABC):
         result = self.detect(core_points, core_ids, support_points, params)
         if "kernel" in result.extras:
             span.annotate(kernel=result.extras["kernel"])
+        if "metric" in result.extras:
+            span.annotate(metric=result.extras["metric"])
+        if "graph_certified" in result.extras:
+            span.annotate(
+                graph_certified=result.extras["graph_certified"],
+                graph_residue=result.extras["graph_residue"],
+                graph_distance_evals=result.extras["graph_distance_evals"],
+            )
         span.finish(
             n_outliers=len(result.outlier_ids),
             distance_evals=result.distance_evals,

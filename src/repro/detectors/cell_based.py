@@ -37,11 +37,25 @@ from collections import defaultdict
 import numpy as np
 
 from ..kernels import resolve_kernel
+from ..metrics import MetricUnsupported, resolve_metric
 from ..params import OutlierParams
 from ._scan import random_scan_counts
 from .base import DetectionResult, Detector, validate_partition_inputs
 
 __all__ = ["CellBasedDetector", "CellBasedRingDetector", "candidate_radius"]
+
+
+def _require_grid_metric(detector_name: str, metric) -> None:
+    """Reject non-grid metrics up front (a typed error, never a wrong
+    answer): the ``r / (2 sqrt(d))`` cell geometry and the Lemma 4.2
+    stencils are Euclidean theorems."""
+    metric = resolve_metric(metric)
+    if not metric.grid_compatible:
+        raise MetricUnsupported(
+            f"detector {detector_name!r} relies on Euclidean grid geometry "
+            f"and cannot run under metric {metric.spec()!r}; use a "
+            "metric-generic tactic (nested_loop, pivot, proximity_graph)"
+        )
 
 
 def candidate_radius(ndim: int) -> int:
@@ -89,8 +103,9 @@ class CellBasedDetector(Detector):
     uses_kernel = True
 
     def __init__(
-        self, chunk: int = 256, seed: int = 7, kernel=None
+        self, chunk: int = 256, seed: int = 7, kernel=None, metric=None
     ) -> None:
+        _require_grid_metric(self.name, metric)
         self.chunk = chunk
         self.seed = seed
         self.kernel = kernel
@@ -186,7 +201,10 @@ class CellBasedRingDetector(Detector):
     name = "cell_based_ring"
     uses_kernel = True
 
-    def __init__(self, chunk: int = 256, kernel=None) -> None:
+    def __init__(
+        self, chunk: int = 256, kernel=None, metric=None
+    ) -> None:
+        _require_grid_metric(self.name, metric)
         self.chunk = chunk
         self.kernel = kernel
 

@@ -19,6 +19,7 @@ import math
 import numpy as np
 from scipy.spatial import cKDTree
 
+from ..metrics import MetricUnsupported, resolve_metric
 from ..params import OutlierParams
 from .base import DetectionResult, Detector, validate_partition_inputs
 
@@ -29,6 +30,16 @@ class KDTreeDetector(Detector):
     """Range-count detection via :class:`scipy.spatial.cKDTree`."""
 
     name = "kdtree"
+
+    def __init__(self, metric=None) -> None:
+        metric = resolve_metric(metric)
+        if not metric.is_euclidean:
+            raise MetricUnsupported(
+                "detector 'kdtree' splits on coordinate axes (Euclidean "
+                f"geometry) and cannot run under metric {metric.spec()!r}; "
+                "use a metric-generic tactic (nested_loop, pivot, "
+                "proximity_graph)"
+            )
 
     def detect(
         self,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..kernels import resolve_kernel
+from ..metrics import resolve_metric
 from ..params import OutlierParams
 from ._scan import random_scan_counts
 from .base import DetectionResult, Detector, validate_partition_inputs
@@ -34,20 +35,24 @@ class NestedLoopDetector(Detector):
     granularity; ``seed`` fixes the random scan order for
     reproducibility; ``kernel`` picks the distance backend (a name,
     a :class:`~repro.kernels.Kernel` instance, or ``None`` for the
-    resolved default — results are backend-independent).
+    resolved default — results are backend-independent).  The scan is
+    metric-generic: ``metric`` selects the space (``None`` keeps the
+    Euclidean fast path).
     """
 
     name = "nested_loop"
     uses_kernel = True
+    metric_generic = True
 
     def __init__(
-        self, chunk: int = 256, seed: int = 7, kernel=None
+        self, chunk: int = 256, seed: int = 7, kernel=None, metric=None
     ) -> None:
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
         self.chunk = chunk
         self.seed = seed
         self.kernel = kernel
+        self.metric = metric
 
     def detect(
         self,
@@ -71,23 +76,28 @@ class NestedLoopDetector(Detector):
         else:
             candidates = core_points
         backend = resolve_kernel(self.kernel, tile=self.chunk)
+        metric = resolve_metric(self.metric)
         computed_before = backend.evals_computed
         wall_before = backend.wall_seconds
         counts, distance_evals = random_scan_counts(
             core_points, candidates, params.r, params.k + 1,
             chunk=self.chunk, seed=self.seed, kernel=backend,
+            metric=metric,
         )
         outliers = core_ids[counts < params.k + 1]
+        extras = {
+            "n_core": n_core,
+            "n_support": support_points.shape[0],
+            "kernel": backend.name,
+            "kernel_evals_computed":
+                backend.evals_computed - computed_before,
+            "kernel_wall_seconds":
+                backend.wall_seconds - wall_before,
+        }
+        if not metric.is_euclidean:
+            extras["metric"] = metric.spec()
         return DetectionResult(
             outlier_ids=outliers.tolist(),
             distance_evals=distance_evals,
-            extras={
-                "n_core": n_core,
-                "n_support": support_points.shape[0],
-                "kernel": backend.name,
-                "kernel_evals_computed":
-                    backend.evals_computed - computed_before,
-                "kernel_wall_seconds":
-                    backend.wall_seconds - wall_before,
-            },
+            extras=extras,
         )

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..metrics import resolve_metric
 from ..params import OutlierParams
 from .base import DetectionResult, Detector, validate_partition_inputs
 
@@ -31,33 +32,56 @@ __all__ = ["PivotDetector", "select_pivots_maxmin"]
 
 
 def select_pivots_maxmin(
-    points: np.ndarray, n_pivots: int, seed: int = 7
+    points: np.ndarray, n_pivots: int, seed: int = 7, metric=None
 ) -> np.ndarray:
-    """Farthest-point pivot selection: indices of the chosen pivots."""
+    """Farthest-point pivot selection: indices of the chosen pivots.
+
+    ``metric=None`` keeps the historical Euclidean arithmetic; a
+    :class:`~repro.metrics.Metric` selects pivots by its own distances
+    (selection quality only — any pivot set is exact).
+    """
     n = points.shape[0]
     n_pivots = min(n_pivots, n)
     rng = np.random.default_rng(seed)
     chosen = [int(rng.integers(n))]
-    min_dist = np.linalg.norm(points - points[chosen[0]], axis=1)
+
+    def dists_to(row: int) -> np.ndarray:
+        if metric is None:
+            return np.linalg.norm(points - points[row], axis=1)
+        return metric.pairwise(points, points[row:row + 1])[:, 0]
+
+    min_dist = dists_to(chosen[0])
     while len(chosen) < n_pivots:
         nxt = int(np.argmax(min_dist))
         chosen.append(nxt)
-        min_dist = np.minimum(
-            min_dist, np.linalg.norm(points - points[nxt], axis=1)
-        )
+        min_dist = np.minimum(min_dist, dists_to(nxt))
     return np.asarray(chosen, dtype=np.int64)
 
 
 class PivotDetector(Detector):
-    """Triangle-inequality pruned detection."""
+    """Triangle-inequality pruned detection.
+
+    Works in any metric space — the LB/UB pruning *is* the triangle
+    inequality, which every registered :class:`~repro.metrics.Metric`
+    satisfies.  The Euclidean path keeps the seed arithmetic bitwise
+    (squared-distance exact checks); non-Euclidean metrics run the same
+    structure on ``metric.pairwise`` distances with a conservative
+    rounding margin on the bounds — the margin only shrinks the
+    pruned/free sets (those pairs fall through to exact
+    ``within_block`` checks), so exactness is preserved.
+    """
 
     name = "pivot"
+    metric_generic = True
 
-    def __init__(self, n_pivots: int = 8, seed: int = 7) -> None:
+    def __init__(
+        self, n_pivots: int = 8, seed: int = 7, metric=None
+    ) -> None:
         if n_pivots < 1:
             raise ValueError("need at least one pivot")
         self.n_pivots = n_pivots
         self.seed = seed
+        self.metric = metric
 
     def detect(
         self,
@@ -77,6 +101,12 @@ class PivotDetector(Detector):
         else:
             candidates = core_points
         n_cand = candidates.shape[0]
+
+        metric = resolve_metric(self.metric)
+        if not metric.is_euclidean:
+            return self._detect_metric(
+                core_points, core_ids, candidates, params, metric
+            )
 
         pivot_rows = select_pivots_maxmin(
             candidates, self.n_pivots, self.seed
@@ -131,5 +161,77 @@ class PivotDetector(Detector):
                 "pivots": pivots.shape[0],
                 "exact_checks": exact_checks,
                 "free_counts": free_counts,
+            },
+        )
+
+    def _detect_metric(
+        self,
+        core_points: np.ndarray,
+        core_ids: np.ndarray,
+        candidates: np.ndarray,
+        params: OutlierParams,
+        metric,
+    ) -> DetectionResult:
+        """The same pruning structure over an arbitrary metric.
+
+        Bounds carry a rounding margin: ``definite`` requires
+        ``UB <= r - margin`` and pruning requires ``LB > r + margin``,
+        so a pair whose float bound strays within a hair of ``r`` is
+        never decided by the bound — it falls through to an exact
+        ``within_block`` check.  The margin (1e-9 of the distance
+        scale) dwarfs accumulated float error by six orders of
+        magnitude while costing essentially no pruning power.
+        """
+        n_core = core_points.shape[0]
+        n_cand = candidates.shape[0]
+        pivot_rows = select_pivots_maxmin(
+            candidates, self.n_pivots, self.seed, metric=metric
+        )
+        pivots = candidates[pivot_rows]
+        cand_piv = metric.pairwise(candidates, pivots)
+        index_ops = n_cand * pivots.shape[0]
+
+        k = params.k
+        r = params.r
+        margin = 1e-9 * (abs(r) + float(np.max(cand_piv, initial=0.0)))
+        distance_evals = 0
+        exact_checks = 0
+        free_counts = 0
+        outliers: list[int] = []
+        for i in range(n_core):
+            q_piv = cand_piv[i]
+            distance_evals += pivots.shape[0]
+            lower = np.max(np.abs(cand_piv - q_piv), axis=1)
+            upper = np.min(cand_piv + q_piv, axis=1)
+            # Self is excluded explicitly (never counted, never checked).
+            definite = (upper <= r - margin)
+            definite[i] = False
+            count = int(definite.sum())
+            free_counts += count
+            if count >= k:
+                continue
+            unknown = np.nonzero(~definite & (lower <= r + margin))[0]
+            unknown = unknown[unknown != i]
+            p_row = core_points[i:i + 1]
+            for start in range(0, unknown.shape[0], 256):
+                rows = unknown[start:start + 256]
+                within = metric.within_block(p_row, candidates[rows], r)[0]
+                exact_checks += rows.shape[0]
+                count += int(within.sum())
+                if count >= k:
+                    break
+            if count < k:
+                outliers.append(int(core_ids[i]))
+
+        distance_evals += exact_checks
+        return DetectionResult(
+            outlier_ids=outliers,
+            distance_evals=distance_evals,
+            index_ops=index_ops,
+            extras={
+                "pivots": pivots.shape[0],
+                "exact_checks": exact_checks,
+                "free_counts": free_counts,
+                "metric": metric.spec(),
             },
         )

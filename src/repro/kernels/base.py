@@ -44,7 +44,7 @@ import time
 
 import numpy as np
 
-__all__ = ["Kernel", "KernelUnavailable"]
+__all__ = ["Kernel", "KernelUnavailable", "scalar_metric_count"]
 
 
 class KernelUnavailable(RuntimeError):
@@ -78,10 +78,20 @@ class Kernel(abc.ABC):
         candidates: np.ndarray,
         r: float,
         need: int,
+        metric=None,
     ) -> tuple[np.ndarray, int]:
         """Scan ``candidates`` (in order) for each query; early exit at
         ``need`` matches.  Returns ``(counts, distance_evals)`` under the
-        module-level contract."""
+        module-level contract.
+
+        ``metric`` selects the distance: ``None`` or the Euclidean
+        metric keeps the backend's native squared-distance fast path
+        (``_count``); any other :class:`~repro.metrics.Metric` routes
+        through the metric-generic path (``_count_metric``) — tiled
+        ``within_block`` batches when the metric vectorizes, the scalar
+        reference loop otherwise — under the same counts/charged
+        contract.
+        """
         queries = np.ascontiguousarray(queries, dtype=np.float64)
         candidates = np.ascontiguousarray(candidates, dtype=np.float64)
         if queries.ndim != 2:
@@ -99,9 +109,14 @@ class Kernel(abc.ABC):
         if need <= 0 or n_q == 0 or candidates.shape[0] == 0:
             return counts, 0
         start = time.perf_counter()
-        counts, charged, computed = self._count(
-            queries, candidates, float(r), int(need)
-        )
+        if metric is None or metric.is_euclidean:
+            counts, charged, computed = self._count(
+                queries, candidates, float(r), int(need)
+            )
+        else:
+            counts, charged, computed = self._count_metric(
+                queries, candidates, float(r), int(need), metric
+            )
         self.wall_seconds += time.perf_counter() - start
         self.evals_charged += charged
         self.evals_computed += computed
@@ -119,3 +134,95 @@ class Kernel(abc.ABC):
 
         Returns ``(counts, evals_charged, evals_computed)``.
         """
+
+    # ------------------------------------------------------------------
+    def _count_metric(
+        self,
+        queries: np.ndarray,
+        candidates: np.ndarray,
+        r: float,
+        need: int,
+        metric,
+    ) -> tuple[np.ndarray, int, int]:
+        """Metric-generic body for non-Euclidean spaces.
+
+        The default picks the tiled ``within_block`` batch path when the
+        metric vectorizes and the scalar reference loop otherwise; the
+        scalar ``python`` oracle overrides this to stay scalar always.
+        Both paths reconstruct scalar stop positions exactly, so they
+        return identical ``(counts, charged)`` — only ``computed``
+        (tile overshoot) differs.
+        """
+        if metric.vectorized:
+            return self._count_metric_tiled(
+                queries, candidates, r, need, metric
+            )
+        return scalar_metric_count(queries, candidates, r, need, metric)
+
+    def _count_metric_tiled(
+        self,
+        queries: np.ndarray,
+        candidates: np.ndarray,
+        r: float,
+        need: int,
+        metric,
+    ) -> tuple[np.ndarray, int, int]:
+        # Same masked-early-termination machinery as the numpy Euclidean
+        # tile, with the metric's within_block supplying the match matrix.
+        counts = np.zeros(queries.shape[0], dtype=np.int64)
+        undecided = np.arange(queries.shape[0])
+        charged = 0
+        computed = 0
+        width = max(8, min(self.tile, 2 * need))
+        start = 0
+        while start < candidates.shape[0] and undecided.size:
+            block = candidates[start:start + width]
+            start += block.shape[0]
+            width = min(self.tile, 2 * width)
+            q = queries[undecided]
+            within = metric.within_block(q, block, r)
+            computed += q.shape[0] * block.shape[0]
+            cumulative = counts[undecided, None] + np.cumsum(within, axis=1)
+            reached = cumulative >= need
+            decided_here = reached[:, -1]
+            if decided_here.any():
+                stop_at = reached[decided_here].argmax(axis=1) + 1
+                charged += int(stop_at.sum())
+                counts[undecided[decided_here]] = need
+            still = ~decided_here
+            charged += int(still.sum()) * block.shape[0]
+            counts[undecided[still]] += within[still].sum(axis=1)
+            undecided = undecided[still]
+        return counts, charged, computed
+
+
+def scalar_metric_count(
+    queries: np.ndarray,
+    candidates: np.ndarray,
+    r: float,
+    need: int,
+    metric,
+) -> tuple[np.ndarray, int, int]:
+    """The scalar reference loop for an arbitrary metric.
+
+    Defines the semantics the tiled metric path must reproduce — one
+    candidate at a time, stop at the ``need``-th match, charge the stop
+    position.  ``metric.within`` shares its arithmetic with
+    ``within_block`` (singleton blocks), so boundary distances agree
+    between this loop and the batches.
+    """
+    counts = np.zeros(queries.shape[0], dtype=np.int64)
+    evals = 0
+    for i in range(queries.shape[0]):
+        q = queries[i]
+        found = 0
+        examined = 0
+        for j in range(candidates.shape[0]):
+            examined += 1
+            if metric.within(q, candidates[j], r):
+                found += 1
+                if found >= need:
+                    break
+        counts[i] = found
+        evals += examined
+    return counts, evals, evals

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import Kernel
+from .base import Kernel, scalar_metric_count
 
 __all__ = ["PythonKernel"]
 
@@ -22,6 +22,12 @@ class PythonKernel(Kernel):
     """Scalar per-point scan; charged evals equal computed evals."""
 
     name = "python"
+
+    def _count_metric(self, queries, candidates, r, need, metric):
+        # Always the scalar reference loop — even for vectorizable
+        # metrics — so this backend stays the oracle the tiled metric
+        # path is diffed against.
+        return scalar_metric_count(queries, candidates, r, need, metric)
 
     def _count(
         self,

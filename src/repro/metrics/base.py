@@ -1,0 +1,125 @@
+"""The metric ABI: one narrow distance contract every space satisfies.
+
+Every tactic in the system ultimately asks one question — *is this pair
+of points within ``r`` of each other?* — and a few tactics additionally
+rank candidates by distance (pivot pruning, proximity-graph
+construction).  A :class:`Metric` packages exactly those two operations
+for one metric space:
+
+* :meth:`Metric.pairwise` — the (n, m) distance matrix between a query
+  block and a candidate block (the ranking primitive);
+* :meth:`Metric.within_block` — the (n, m) boolean ``d <= r`` matrix
+  (the detection primitive).
+
+``within_block`` is a separate method, not ``pairwise(...) <= r``,
+because boundary faithfulness matters: the Euclidean fast paths compare
+*squared* distances against ``r**2`` (no square root anywhere), and a
+metric whose predicate rounds differently from its distance would let a
+boundary-distance pair flip between the vectorized and scalar code
+paths.  Every implementation must keep ``within_block`` bitwise
+consistent with the comparison its detectors actually perform.
+
+Scalar entry points (:meth:`distance`, :meth:`within`) are defined in
+terms of the block methods on singleton blocks, so the scalar reference
+loops and the vectorized tiles are arithmetically identical by
+construction — the property the differential metric suite in
+``tests/test_metric_equivalence.py`` enforces.
+
+Capabilities
+------------
+``vectorized``
+    True when :meth:`pairwise`/:meth:`within_block` are real numpy fast
+    paths.  Non-vectorizable metrics (edit distance) set False and the
+    kernel layer scans them with the scalar fallback.
+``grid_compatible``
+    True only when the coordinate-grid machinery is valid in this
+    space: axis-aligned cells of side ``r / (2 sqrt(d))`` guaranteeing
+    in-cell neighborship, rectangle ``r``-expansions bounding the
+    ``r``-ball, Lemma 4.2 stencil geometry.  Only Euclidean qualifies;
+    grid tactics asked to run under any other metric raise
+    :class:`MetricUnsupported` instead of returning a wrong answer.
+
+All shipped metrics are true metrics (symmetry, identity of
+indiscernibles, triangle inequality — property-tested per
+implementation); the triangle inequality is what makes the pivot
+detector's pruning and the metric-safe partitioner's support rule
+exact.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Metric", "MetricUnsupported"]
+
+
+class MetricUnsupported(TypeError):
+    """A tactic/strategy cannot run under the requested metric.
+
+    Raised *instead of* silently computing with invalid geometry: a
+    grid detector under haversine would not be slower, it would be
+    wrong.  Callers catch this to degrade to a metric-generic tactic.
+    """
+
+
+class Metric(abc.ABC):
+    """One metric space: distances and the ``d <= r`` predicate."""
+
+    #: Registry name ("euclidean", "minkowski", ...).
+    name: str = "metric"
+
+    #: True when pairwise/within_block are numpy fast paths.
+    vectorized: bool = True
+
+    #: True only when coordinate-grid geometry (cells, rectangle
+    #: r-expansions, Lemma 4.2 stencils) is valid in this space.
+    grid_compatible: bool = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def pairwise(
+        self, queries: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """The (n, m) distance matrix between two point blocks."""
+
+    def within_block(
+        self, queries: np.ndarray, candidates: np.ndarray, r: float
+    ) -> np.ndarray:
+        """Boolean (n, m) matrix of ``d(q, c) <= r``.
+
+        Override when the detection comparison differs arithmetically
+        from ``pairwise(...) <= r`` (the Euclidean squared-distance
+        path does).
+        """
+        return self.pairwise(queries, candidates) <= r
+
+    # ------------------------------------------------------------------
+    # Scalar entry points: singleton blocks, so scalar and vectorized
+    # code paths share one arithmetic definition.
+    # ------------------------------------------------------------------
+    def distance(self, a, b) -> float:
+        a = np.asarray(a, dtype=float).reshape(1, -1)
+        b = np.asarray(b, dtype=float).reshape(1, -1)
+        return float(self.pairwise(a, b)[0, 0])
+
+    def within(self, a, b, r: float) -> bool:
+        a = np.asarray(a, dtype=float).reshape(1, -1)
+        b = np.asarray(b, dtype=float).reshape(1, -1)
+        return bool(self.within_block(a, b, r)[0, 0])
+
+    # ------------------------------------------------------------------
+    def spec(self) -> str:
+        """Round-trippable registry spec (``resolve_metric(m.spec())``
+        rebuilds an equivalent instance).  Parameterized metrics
+        override this to append their arguments."""
+        return self.name
+
+    @property
+    def is_euclidean(self) -> bool:
+        """True for the default space every legacy fast path assumes."""
+        return self.name == "euclidean"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.spec()!r})"

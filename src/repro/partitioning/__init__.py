@@ -2,6 +2,7 @@
 
 from .base import Partition, PartitionPlan
 from .grid_strategies import DomainPartitioner, UniSpacePartitioner
+from .metric_strategies import MetricSafePartitioner, MetricSafePlan
 from .sampled_strategies import (
     CDrivenPartitioner,
     DDrivenPartitioner,
@@ -18,7 +19,12 @@ STRATEGY_REGISTRY = {
     DDrivenPartitioner.name: DDrivenPartitioner,
     CDrivenPartitioner.name: CDrivenPartitioner,
     DMTPartitioner.name: DMTPartitioner,
+    MetricSafePartitioner.name: MetricSafePartitioner,
 }
+
+#: Strategies whose plans stay exact under any metric (the rectangle
+#: strategies assume Euclidean boxes and r-expansions).
+METRIC_SAFE_STRATEGIES = (MetricSafePartitioner.name,)
 
 __all__ = [
     "Partition",
@@ -30,7 +36,10 @@ __all__ = [
     "DDrivenPartitioner",
     "CDrivenPartitioner",
     "DMTPartitioner",
+    "MetricSafePartitioner",
+    "MetricSafePlan",
     "STRATEGY_REGISTRY",
+    "METRIC_SAFE_STRATEGIES",
     "bucket_costs",
     "split_by_cost",
     "split_by_weight",

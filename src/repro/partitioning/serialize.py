@@ -13,6 +13,7 @@ from typing import Any, Dict
 
 from ..geometry import Rect
 from .base import Partition, PartitionPlan
+from .metric_strategies import MetricSafePlan
 
 __all__ = ["plan_to_dict", "plan_from_dict", "save_plan", "load_plan"]
 
@@ -20,8 +21,14 @@ _FORMAT_VERSION = 1
 
 
 def plan_to_dict(plan: PartitionPlan) -> Dict[str, Any]:
-    """A plain-dict snapshot of a plan (stable across versions)."""
-    return {
+    """A plain-dict snapshot of a plan (stable across versions).
+
+    Rectangle plans serialize exactly as they always have (no ``kind``
+    key, so pre-existing manifests and baselines stay byte-identical);
+    metric-safe plans add ``kind: "metric_safe"`` plus their pivots and
+    metric spec.
+    """
+    data = {
         "version": _FORMAT_VERSION,
         "strategy": plan.strategy,
         "domain": {"low": list(plan.domain.low),
@@ -43,6 +50,11 @@ def plan_to_dict(plan: PartitionPlan) -> Dict[str, Any]:
             for p in plan.partitions
         ],
     }
+    if isinstance(plan, MetricSafePlan):
+        data["kind"] = "metric_safe"
+        data["pivots"] = [list(map(float, row)) for row in plan.pivots]
+        data["metric"] = plan.metric_spec
+    return data
 
 
 def plan_from_dict(data: Dict[str, Any]) -> PartitionPlan:
@@ -53,6 +65,9 @@ def plan_from_dict(data: Dict[str, Any]) -> PartitionPlan:
             f"unsupported plan format version: {version!r} "
             f"(expected {_FORMAT_VERSION})"
         )
+    kind = data.get("kind", "rect")
+    if kind not in ("rect", "metric_safe"):
+        raise ValueError(f"unsupported plan kind: {kind!r}")
     domain = Rect(tuple(data["domain"]["low"]),
                   tuple(data["domain"]["high"]))
     partitions = [
@@ -68,6 +83,15 @@ def plan_from_dict(data: Dict[str, Any]) -> PartitionPlan:
     allocation = data.get("allocation")
     if allocation is not None:
         allocation = {int(k): int(v) for k, v in allocation.items()}
+    if kind == "metric_safe":
+        return MetricSafePlan(
+            domain=domain,
+            partitions=partitions,
+            allocation=allocation,
+            strategy=data.get("strategy", "unknown"),
+            pivots=data["pivots"],
+            metric_spec=data.get("metric", "euclidean"),
+        )
     return PartitionPlan(
         domain=domain,
         partitions=partitions,

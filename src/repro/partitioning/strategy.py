@@ -24,7 +24,14 @@ __all__ = ["PlanRequest", "PartitioningStrategy"]
 
 @dataclass(frozen=True)
 class PlanRequest:
-    """Everything a strategy needs to build a plan."""
+    """Everything a strategy needs to build a plan.
+
+    ``metric`` is the metric spec of the run (``None`` means Euclidean);
+    grid strategies ignore it — the pipeline swaps them for the
+    metric-safe strategy before planning a non-Euclidean run — while
+    :class:`~repro.partitioning.metric_strategies.MetricSafePartitioner`
+    partitions under it.
+    """
 
     domain: Rect
     params: OutlierParams
@@ -33,6 +40,7 @@ class PlanRequest:
     n_buckets: int = 1024
     sample_rate: float = 0.005
     seed: int = 1
+    metric: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_partitions < 1:

@@ -42,6 +42,7 @@ import numpy as np
 from ..allocation import allocate
 from ..core.dataset import Dataset
 from ..core.pipeline import resolve_strategy
+from ..detectors import METRIC_GENERIC_DETECTORS
 from ..mapreduce import (
     ClusterConfig,
     Counters,
@@ -49,9 +50,16 @@ from ..mapreduce import (
     LocalRuntime,
     MapReduceJob,
 )
+from ..metrics import MetricUnsupported, resolve_metric
 from ..observability import Span, Tracer
 from ..params import OutlierParams
-from ..partitioning import PlanRequest, plan_from_dict, plan_to_dict
+from ..partitioning import (
+    METRIC_SAFE_STRATEGIES,
+    MetricSafePartitioner,
+    PlanRequest,
+    plan_from_dict,
+    plan_to_dict,
+)
 # The routed-records job shape is shared with the streaming subsystem:
 # records arrive pre-assigned to partitions and verdicts come back
 # tagged ``(pid, outlier_id)``.
@@ -134,6 +142,7 @@ def run_checkpointed(
     manifest_extra: Optional[dict] = None,
     kernel: Optional[str] = None,
     plan=None,
+    metric: Optional[str] = None,
 ) -> CheckpointedResult:
     """Detect outliers with durable per-partition commits.
 
@@ -149,6 +158,10 @@ def run_checkpointed(
     of the manifest's run identity (backends are observationally
     identical by the kernel ABI's exactness contract), so a checkpoint
     written under one backend resumes cleanly under another.
+    ``metric``, by contrast, *defines* the answer, so it joins the run
+    identity: resuming under a different metric raises
+    :class:`CheckpointMismatch` rather than mixing verdicts from two
+    different distance functions.
     ``plan`` (optional) supplies a pre-built partition plan for a
     *fresh* run — the warm-worker path of the service tier, where a
     repeat submission of the same dataset skips the sampling
@@ -157,6 +170,17 @@ def run_checkpointed(
     plan (the durable identity always wins).
     """
     strategy = resolve_strategy(strategy)
+    metric_obj = resolve_metric(metric)
+    metric_arg = None if metric_obj.is_euclidean else metric_obj.spec()
+    if metric_arg is not None:
+        if detector not in METRIC_GENERIC_DETECTORS:
+            raise MetricUnsupported(
+                f"detector {detector!r} assumes Euclidean geometry; "
+                f"metric-generic detectors: "
+                f"{sorted(METRIC_GENERIC_DETECTORS)}"
+            )
+        if strategy.name not in METRIC_SAFE_STRATEGIES:
+            strategy = MetricSafePartitioner(metric=metric_obj)
     cluster = cluster or ClusterConfig()
     runtime = runtime or LocalRuntime(cluster)
     tracer = tracer or runtime.tracer or Tracer()
@@ -177,6 +201,10 @@ def run_checkpointed(
         "n_partitions": int(n_partitions),
         "n_reducers": int(n_reducers),
     }
+    # Joined only for non-Euclidean runs so pre-existing Euclidean
+    # checkpoints keep their exact config dict (and stay resumable).
+    if metric_arg is not None:
+        config["metric"] = metric_arg
     counters = Counters()
 
     prev_tracer = runtime.tracer
@@ -191,7 +219,7 @@ def run_checkpointed(
                 dataset, params, checkpoint_dir, journal_path, strategy,
                 detector, runtime, n_reducers, n_partitions, seed,
                 config, counters, run_span, abort_after_commits,
-                manifest_extra, kernel, plan,
+                manifest_extra, kernel, plan, metric_arg,
             )
             run_span.annotate(
                 resumed=result.resumed,
@@ -209,12 +237,12 @@ def run_checkpointed(
 def _run(
     dataset, params, checkpoint_dir, journal_path, strategy, detector,
     runtime, n_reducers, n_partitions, seed, config, counters, run_span,
-    abort_after_commits, manifest_extra, kernel, warm_plan,
+    abort_after_commits, manifest_extra, kernel, warm_plan, metric,
 ):
     plan, resumed = _load_or_build_plan(
         dataset, params, checkpoint_dir, journal_path, strategy,
         runtime, n_reducers, n_partitions, seed, config, counters,
-        run_span, manifest_extra, warm_plan,
+        run_span, manifest_extra, warm_plan, metric,
     )
 
     committed = _replay_journal(
@@ -253,7 +281,7 @@ def _run(
             jobs = _detect_pending(
                 pending, partition_records, plan, params, detector,
                 runtime, n_reducers, journal, counters, run_span,
-                outliers_by_pid, kernel,
+                outliers_by_pid, kernel, metric,
             )
     for job in jobs:
         counters.merge(job.counters)
@@ -276,7 +304,7 @@ def _run(
 def _load_or_build_plan(
     dataset, params, checkpoint_dir, journal_path, strategy, runtime,
     n_reducers, n_partitions, seed, config, counters, run_span,
-    manifest_extra, warm_plan=None,
+    manifest_extra, warm_plan=None, metric=None,
 ):
     """Return ``(plan, resumed)``; fresh runs write the manifest."""
     manifest_path = os.path.join(checkpoint_dir, MANIFEST_FILE)
@@ -329,6 +357,7 @@ def _load_or_build_plan(
             n_buckets=int(min(1024, max(64, dataset.n // 20))),
             sample_rate=min(0.5, max(0.005, 2000 / max(dataset.n, 1))),
             seed=seed,
+            metric=metric,
         )
         plan = strategy.timed_plan(
             runtime, list(dataset.records()), request
@@ -387,6 +416,7 @@ def _replay_journal(journal_path, plan, counters, run_span):
 def _detect_pending(
     pending, partition_records, plan, params, detector, runtime,
     n_reducers, journal, counters, run_span, outliers_by_pid, kernel,
+    metric=None,
 ):
     """Run the routed detection job over uncommitted partitions,
     journaling each reduce task's partitions as the task commits."""
@@ -418,7 +448,8 @@ def _detect_pending(
         name=f"ckpt-detect-{plan.strategy}",
         mapper=_RoutedMapper(),
         reducer=_StreamDODReducer(
-            params, plan.algorithm_plan, detector, kernel=kernel
+            params, plan.algorithm_plan, detector, kernel=kernel,
+            metric=metric,
         ),
         n_reducers=len(alloc.bin_loads),
         partitioner=DictPartitioner(table),

@@ -83,6 +83,7 @@ class ServiceClient:
         workers: int = 0,
         transport: str = "pickle",
         kernel: Optional[str] = None,
+        metric: Optional[str] = None,
         with_ids: bool = False,
         n_partitions: Optional[int] = None,
         n_reducers: Optional[int] = None,
@@ -105,6 +106,7 @@ class ServiceClient:
             "workers": int(workers),
             "transport": transport,
             "kernel": kernel,
+            "metric": metric,
             "n_partitions": n_partitions,
             "n_reducers": n_reducers,
         }

@@ -47,6 +47,7 @@ import numpy as np
 from ..core import Dataset
 from ..data.io import finite_row_mask
 from ..mapreduce import ClusterConfig, LocalRuntime, ParallelRuntime
+from ..metrics import resolve_metric
 from ..observability import RunReport, Span
 from ..params import OutlierParams
 from ..recovery import run_checkpointed
@@ -80,6 +81,7 @@ def _job_spec_defaults(spec: Dict[str, Any]) -> Dict[str, Any]:
         "workers": 0,
         "transport": "pickle",
         "kernel": None,
+        "metric": None,
         "n_partitions": None,
         "n_reducers": None,
     }
@@ -159,6 +161,9 @@ class ServiceWorker:
             str(spec["strategy"]), str(spec["detector"]),
             int(spec["seed"]),
             sizing["n_partitions"], sizing["n_reducers"],
+            # The metric changes both the plan shape (pivot balls vs
+            # rectangles) and the answer, so it must split the memo.
+            spec.get("metric"),
         )
 
     @staticmethod
@@ -236,6 +241,7 @@ class ServiceWorker:
             n_partitions=sizing["n_partitions"],
             n_reducers=sizing["n_reducers"],
             seed=int(spec["seed"]), kernel=spec["kernel"],
+            metric=spec["metric"],
             plan=cached.plan if plan_cache_hit else None,
             manifest_extra={"job_id": int(job["id"]),
                             "tenant": job["tenant"],
@@ -269,6 +275,7 @@ class ServiceWorker:
             "lane": job["lane_name"],
             "attempts": int(job["attempts"]),
             "params": {"r": params.r, "k": params.k},
+            "metric": resolve_metric(spec["metric"]).spec(),
             "n_points": dataset.n,
             "outliers": sorted(result.outlier_ids),
             "n_outliers": len(result.outlier_ids),

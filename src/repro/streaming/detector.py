@@ -44,6 +44,8 @@ from ..allocation import allocate
 from ..core.dataset import Dataset
 from ..core.framework import _MAP_EMIT_COST, _MAP_RECORD_COST, _DODReducer
 from ..core.pipeline import resolve_strategy
+from ..detectors import METRIC_GENERIC_DETECTORS
+from ..metrics import MetricUnsupported, resolve_metric
 from ..mapreduce import (
     ClusterConfig,
     Counters,
@@ -57,6 +59,8 @@ from ..geometry import UniformGrid
 from ..observability import Span, Tracer
 from ..params import OutlierParams
 from ..partitioning import (
+    METRIC_SAFE_STRATEGIES,
+    MetricSafePartitioner,
     PartitionPlan,
     PlanRequest,
     plan_from_dict,
@@ -156,6 +160,7 @@ class StreamingDetector:
         seed: int = 1,
         tracer: Optional[Tracer] = None,
         kernel: Optional[str] = None,
+        metric: Optional[str] = None,
     ) -> None:
         self.params = params
         self.strategy = resolve_strategy(strategy)
@@ -165,6 +170,26 @@ class StreamingDetector:
                 f"{self.strategy.name!r} runs the two-job baseline "
                 "instead and cannot localize a batch's effect"
             )
+        metric_obj = resolve_metric(metric)
+        # Normalized exactly like the batch pipeline: Euclidean threads
+        # ``None`` so the default path stays byte-identical.
+        self.metric = (
+            None if metric_obj.is_euclidean else metric_obj.spec()
+        )
+        if self.metric is not None:
+            if detector not in METRIC_GENERIC_DETECTORS:
+                raise MetricUnsupported(
+                    f"detector {detector!r} assumes Euclidean geometry; "
+                    f"metric-generic detectors: "
+                    f"{sorted(METRIC_GENERIC_DETECTORS)}"
+                )
+            if self.strategy.name not in METRIC_SAFE_STRATEGIES:
+                # Same graceful degrade as the batch pipeline; the
+                # dirty-partition rule holds because the metric-safe
+                # support rule depends only on the pivots (a new point
+                # routes identically whether it arrived at plan time or
+                # in a later batch).
+                self.strategy = MetricSafePartitioner(metric=metric_obj)
         self.detector = detector
         self.kernel = kernel
         self.cluster = cluster or ClusterConfig()
@@ -403,6 +428,7 @@ class StreamingDetector:
             n_buckets=n_buckets,
             sample_rate=min(0.5, max(0.005, 2000 / max(n, 1))),
             seed=self.seed,
+            metric=self.metric,
         )
         plan = self.strategy.timed_plan(
             self.runtime, list(dataset.records()), request
@@ -445,7 +471,7 @@ class StreamingDetector:
             mapper=_RoutedMapper(),
             reducer=_StreamDODReducer(
                 self.params, plan.algorithm_plan, self.detector,
-                kernel=self.kernel,
+                kernel=self.kernel, metric=self.metric,
             ),
             n_reducers=len(alloc.bin_loads),
             partitioner=DictPartitioner(table),
@@ -509,6 +535,7 @@ class StreamingDetector:
             "strategy": self.strategy.name,
             "detector": self.detector,
             "kernel": self.kernel,
+            "metric": self.metric,
             "seed": int(self.seed),
             "drift_threshold": float(self.drift_threshold),
             "n_partitions": int(self.n_partitions),
@@ -561,6 +588,7 @@ class StreamingDetector:
             strategy=payload["strategy"],
             detector=payload["detector"],
             kernel=payload.get("kernel"),
+            metric=payload.get("metric"),
             runtime=runtime,
             cluster=cluster,
             n_partitions=payload["n_partitions"],
@@ -621,13 +649,17 @@ class StreamingDetector:
         seed: int = 1,
         tracer: Optional[Tracer] = None,
         kernel: Optional[str] = None,
+        metric: Optional[str] = None,
     ) -> "StreamingDetector":
         """Load a snapshot if one is trustworthy, else start fresh.
 
         ``kernel`` is *not* part of the snapshot's identity — backends
         are observationally identical by the ABI contract — so a
         restored stream adopts the requested kernel (falling back to the
-        snapshot's recorded one when ``None``).
+        snapshot's recorded one when ``None``).  ``metric`` *is*
+        identity: it defines the answer, so a snapshot taken under a
+        different metric raises ``ValueError`` like any other parameter
+        mismatch.
 
         The degradation policy of the recovery layer, applied to
         streams: a missing snapshot silently starts a fresh detector
@@ -666,7 +698,7 @@ class StreamingDetector:
                 runtime=runtime, cluster=cluster,
                 n_partitions=n_partitions, n_reducers=n_reducers,
                 drift_threshold=drift_threshold, seed=seed,
-                tracer=tracer, kernel=kernel,
+                tracer=tracer, kernel=kernel, metric=metric,
             )
             fresh.counters.incr("recovery", "snapshot_fallbacks")
             span = Span.begin(
@@ -676,18 +708,28 @@ class StreamingDetector:
             span.finish(warning=str(exc))
             fresh.tracer.record(span)
             return fresh
+        metric_obj = resolve_metric(metric)
+        requested_metric = (
+            None if metric_obj.is_euclidean else metric_obj.spec()
+        )
+        requested_strategy = resolve_strategy(strategy).name
+        if (
+            requested_metric is not None
+            and requested_strategy not in METRIC_SAFE_STRATEGIES
+        ):
+            requested_strategy = MetricSafePartitioner.name
         requested = (
             float(params.r), int(params.k),
-            resolve_strategy(strategy).name, detector,
+            requested_strategy, detector, requested_metric,
         )
         found = (
             float(loaded.params.r), int(loaded.params.k),
-            loaded.strategy.name, loaded.detector,
+            loaded.strategy.name, loaded.detector, loaded.metric,
         )
         if requested != found:
             raise ValueError(
                 f"snapshot {path} was taken with "
-                f"(r, k, strategy, detector)={found}, requested "
+                f"(r, k, strategy, detector, metric)={found}, requested "
                 f"{requested}; pass matching parameters or a fresh "
                 "snapshot path"
             )
