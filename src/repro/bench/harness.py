@@ -28,6 +28,14 @@ The matrix's kernel axis runs on the **serial** cells only (one per
 backend in ``kernels``): kernels change per-task arithmetic, not
 dispatch, so serial runs isolate the effect while the parallel cells
 stay on the default backend.
+
+The **tier axis** works the same way: non-exact tiers in ``tiers`` add
+one serial cell each per detector on the default kernel.  Tier cells
+carry two extra deterministic fields — ``tier_residue_fraction`` (the
+share of points the certification pass could not clear) and
+``tier_certification_bound`` — and their ``outliers_hash`` must equal
+the exact cells' (verdicts are tier-invariant), which the
+``identical_outliers`` gate enforces.
 """
 
 from __future__ import annotations
@@ -88,6 +96,10 @@ class BenchConfig:
     #: Distance backends for the serial kernel axis; parallel cells all
     #: run on the last entry (the production default).
     kernels: tuple = ("python", "numpy")
+    #: Detection tiers for the serial tier axis; everything beyond
+    #: "exact" joins the workload identity (so pre-existing exact-only
+    #: baselines keep their workload dict byte-for-byte).
+    tiers: tuple = ("exact", "fast")
     workers: int = 4
     repeats: int = 5
     n_partitions: int = 16
@@ -107,7 +119,7 @@ class BenchConfig:
         defaults = dict(
             label="smoke", base_n=1_500, detectors=("nested_loop",),
             workers=2, repeats=2, n_partitions=8, n_reducers=4,
-            block_records=250,
+            block_records=250, tiers=("exact",),
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -133,6 +145,7 @@ def _run_cell(
     transport: str,
     kernel: str,
     log=None,
+    tier: str = "exact",
 ) -> Dict[str, Any]:
     """One matrix cell: ``repeats`` detection runs, min-of-N wall."""
     params = OutlierParams(r=config.r, k=config.k)
@@ -169,6 +182,7 @@ def _run_cell(
             cluster=cluster, runtime=runtime, seed=config.seed,
             kernel=kernel_spec,
             metric=None if config.metric == "euclidean" else config.metric,
+            tier=tier,
         )
         walls.append(time.perf_counter() - start)
         detect_walls.append(last.detect_wall)
@@ -214,6 +228,16 @@ def _run_cell(
     }
     if config.metric != "euclidean":
         cell["metric"] = config.metric
+    if tier != "exact":
+        cell["tier"] = tier
+    if last.certification is not None:
+        # Deterministic tier effectiveness: what fraction of points the
+        # certification pass left for the exact residue machinery, and
+        # the witness bound it certified against.
+        cell["tier_residue_fraction"] = (
+            last.certification.residue_fraction
+        )
+        cell["tier_certification_bound"] = last.certification.bound
     graph_certified = counters.get("graph", "certified")
     graph_residue = counters.get("graph", "residue")
     if graph_certified or graph_residue:
@@ -241,9 +265,11 @@ def _run_cell(
             tstats["dispatch_seconds"] / tasks * 1e6 if tasks else 0.0
         )
     if log is not None:
+        tag = "" if tier == "exact" else f" tier={tier}"
         log(
             f"  {runtime_kind:<8} {transport:<7} {detector:<12} "
             f"{kernel:<7} {wall:8.3f}s  outliers={cell['n_outliers']}"
+            f"{tag}"
         )
     return cell
 
@@ -283,6 +309,15 @@ def run_bench(config: BenchConfig, log=None) -> Dict[str, Any]:
                     kernel, log,
                 )
             )
+        for tier in config.tiers:
+            if tier == "exact":
+                continue  # the kernel axis already covers exact
+            runs.append(
+                _run_cell(
+                    config, dataset, detector, "serial", "inline",
+                    default_kernel, log, tier=tier,
+                )
+            )
         for transport in config.transports:
             runs.append(
                 _run_cell(
@@ -305,6 +340,8 @@ def run_bench(config: BenchConfig, log=None) -> Dict[str, Any]:
     }
     if config.metric != "euclidean":
         workload["metric"] = config.metric
+    if tuple(config.tiers) != ("exact",):
+        workload["tiers"] = list(config.tiers)
     return {
         "schema_version": SCHEMA_VERSION,
         "label": config.label,
@@ -340,7 +377,13 @@ def _derive(
             entry["dispatch_overhead_ratio"] = (
                 overhead["pickle"] / overhead["shm"]
             )
-        serial_cells = [c for c in cells if c["runtime"] == "serial"]
+        # Kernel/dispatch summaries compare exact-tier cells only; the
+        # tier axis gets its own summary below.
+        serial_cells = [
+            c for c in cells
+            if c["runtime"] == "serial"
+            and c.get("tier", "exact") == "exact"
+        ]
         serial = next(
             (
                 c for c in serial_cells
@@ -365,6 +408,29 @@ def _derive(
             entry["kernel_speedup_ratio"] = (
                 kernel_walls["python"] / kernel_walls["numpy"]
             )
+        tier_cells = {
+            c.get("tier", "exact"): c
+            for c in cells
+            if c["runtime"] == "serial"
+            and c["kernel"] == config.kernels[-1]
+        }
+        if len(tier_cells) > 1:
+            entry["tier_wall_seconds"] = {
+                tier: c["wall_seconds"]
+                for tier, c in sorted(tier_cells.items())
+            }
+            fast = tier_cells.get("fast")
+            exact_cell = tier_cells.get("exact")
+            if fast is not None and exact_cell is not None:
+                if fast["wall_seconds"] > 0:
+                    entry["tier_speedup"] = (
+                        exact_cell["wall_seconds"]
+                        / fast["wall_seconds"]
+                    )
+                if "tier_residue_fraction" in fast:
+                    entry["tier_residue_fraction"] = (
+                        fast["tier_residue_fraction"]
+                    )
         derived["per_detector"][detector] = entry
     derived["identical_outliers"] = identical
     return derived
@@ -412,7 +478,7 @@ def check_against(
     def key(cell):
         return (
             cell["runtime"], cell["transport"], cell["detector"],
-            cell.get("kernel", ""),
+            cell.get("kernel", ""), cell.get("tier", "exact"),
         )
 
     base_cells = {key(c): c for c in baseline.get("runs", [])}
@@ -427,6 +493,7 @@ def check_against(
     exact_fields = (
         "n_outliers", "outliers_hash", "distance_evals", "cost_units",
         "shuffle_records", "residue_fraction",
+        "tier_residue_fraction", "tier_certification_bound",
     )
     for cell_key, base in base_cells.items():
         fresh = run_cells[cell_key]

@@ -56,6 +56,7 @@ from .mapreduce import (
 from .observability import RunReport, render_report
 from .params import OutlierParams
 from .partitioning import PlanRequest, save_plan
+from .tiers import TIER_CHOICES, resolve_tier
 
 __all__ = ["main", "CLIError"]
 
@@ -155,6 +156,10 @@ def _validate_runtime_flags(args) -> tuple[list, list]:
         # Same early-exit policy for a malformed --metric spec.
         resolve_metric(getattr(args, "metric", None))
     except (ValueError, MetricUnsupported) as exc:
+        errors.append(str(exc))
+    try:
+        resolve_tier(getattr(args, "tier", None))
+    except ValueError as exc:
         errors.append(str(exc))
     if args.speculate and args.timeout is None and not errors:
         warnings.append(
@@ -258,7 +263,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         dataset, params, strategy=args.strategy,
         detector=args.detector, cluster=cluster, seed=args.seed,
         runtime=_build_runtime(args, cluster), kernel=args.kernel,
-        metric=args.metric,
+        metric=args.metric, tier=args.tier,
     )
     report = {
         "n_points": dataset.n,
@@ -266,12 +271,18 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         "strategy": result.strategy,
         "kernel": resolve_kernel(args.kernel).name,
         "metric": resolve_metric(args.metric).spec(),
+        "tier": result.tier,
         "outliers": sorted(result.outlier_ids),
         "n_outliers": len(result.outlier_ids),
         "detector_usage": result.run.detector_usage,
         "breakdown_seconds": result.breakdown(),
         "load_imbalance": result.load_imbalance,
     }
+    if result.certification is not None:
+        report["tier_certified"] = result.certification.certified
+        report["tier_bound"] = result.certification.bound
+        report["residue_fraction"] = result.certification.residue_fraction
+        report["tier_dropped"] = result.certification.dropped
     if args.quarantine_out:
         report["rows_quarantined"] = _last_quarantined
     if args.trace_out:
@@ -294,7 +305,11 @@ def _checkpoint_report(result, params, metric: str) -> dict:
         "partitions_executed": result.executed_partitions,
         "recovery": result.counters.group("recovery"),
         "metric": metric,
+        "tier": getattr(result, "tier", "exact"),
     }
+    tier_counters = result.counters.group("tier")
+    if tier_counters:
+        report["tier_counters"] = tier_counters
     if _last_quarantined:
         report["rows_quarantined"] = _last_quarantined
     return report
@@ -312,6 +327,7 @@ def _run_checkpointed_cli(args, checkpoint_dir: str) -> int:
             runtime=_build_runtime(args, cluster), cluster=cluster,
             seed=args.seed, kernel=args.kernel,
             metric=getattr(args, "metric", None),
+            tier=getattr(args, "tier", None),
             manifest_extra={
                 "input": args.input,
                 "with_ids": bool(args.with_ids),
@@ -372,6 +388,9 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     # The metric is run identity: the manifest's record wins, so a
     # resume never silently re-detects under a different distance.
     ns.metric = config.get("metric")
+    # Same for the tier: a fast run resumes fast, an exact run exact
+    # (old manifests predate tiers and were always exact).
+    ns.tier = config.get("tier", "exact")
     ns.quarantine_out = None
     return _run_checkpointed_cli(ns, args.checkpoint_dir)
 
@@ -389,6 +408,7 @@ def _streaming_detector(args, params, cluster):
         seed=args.seed,
         kernel=args.kernel,
         metric=args.metric,
+        tier=args.tier,
     )
 
 
@@ -413,6 +433,7 @@ def _stream_report(detector, params, batches: list) -> dict:
         "params": {"r": params.r, "k": params.k},
         "strategy": detector.strategy.name,
         "metric": detector.metric or "euclidean",
+        "tier": detector.tier,
         "outliers": sorted(detector.outlier_ids),
         "n_outliers": len(detector.outlier_ids),
         "batches": batches,
@@ -468,7 +489,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 strategy=args.strategy, detector=args.detector,
                 runtime=_build_runtime(args, cluster), cluster=cluster,
                 drift_threshold=args.drift_threshold, seed=args.seed,
-                kernel=args.kernel, metric=args.metric,
+                kernel=args.kernel, metric=args.metric, tier=args.tier,
             )
         except ValueError as exc:
             raise CLIError(str(exc)) from exc
@@ -588,7 +609,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 detector=args.detector, seed=args.seed,
                 nodes=args.nodes, workers=args.workers,
                 transport=args.transport, kernel=args.kernel,
-                metric=args.metric,
+                metric=args.metric, tier=args.tier,
                 with_ids=args.with_ids,
             )
         except QueueFull as exc:
@@ -859,6 +880,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["detectors"] = tuple(args.detectors.split(","))
     if args.kernels:
         overrides["kernels"] = tuple(args.kernels.split(","))
+    if args.transports is not None:
+        transports = tuple(
+            t for t in args.transports.split(",")
+            if t and t != "none"
+        )
+        for transport in transports:
+            if transport not in ("pickle", "shm"):
+                print(
+                    f"error: --transports accepts pickle,shm or none "
+                    f"(got {transport!r})",
+                    file=sys.stderr,
+                )
+                return 2
+        overrides["transports"] = transports
+    if args.tiers:
+        tiers = tuple(args.tiers.split(","))
+        for tier in tiers:
+            if tier not in ("exact", "fast"):
+                print(
+                    f"error: --tiers accepts exact,fast (got {tier!r})",
+                    file=sys.stderr,
+                )
+                return 2
+        overrides["tiers"] = tiers
     if args.metric:
         try:
             overrides["metric"] = resolve_metric(args.metric).spec()
@@ -1008,6 +1053,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "require a metric-generic detector "
                             "(default: auto = $REPRO_METRIC or euclidean)")
 
+    def add_tier_flag(p):
+        p.add_argument("--tier", choices=list(TIER_CHOICES),
+                       default=None,
+                       help="detection tier: 'exact' runs the full "
+                            "machinery, 'fast' prepends a sensitivity-"
+                            "sampled certification pass (identical "
+                            "outlier set, less exact work), 'auto' "
+                            "picks via the cost model (default: "
+                            "$REPRO_TIER or exact)")
+
     det = sub.add_parser("detect", help="run the detection pipeline")
     add_common(det)
     det.add_argument("--detector", default="nested_loop")
@@ -1032,6 +1087,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_runtime_flags(det)
     add_kernel_flag(det)
     add_metric_flag(det)
+    add_tier_flag(det)
     det.set_defaults(func=_cmd_detect)
 
     resume = sub.add_parser(
@@ -1075,6 +1131,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_runtime_flags(stream)
     add_kernel_flag(stream)
     add_metric_flag(stream)
+    add_tier_flag(stream)
     stream.set_defaults(func=_cmd_stream)
 
     def add_spool_flag(p):
@@ -1132,6 +1189,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default="pickle")
     add_kernel_flag(submit)
     add_metric_flag(submit)
+    submit.add_argument("--tier", choices=list(TIER_CHOICES),
+                        default=None,
+                        help="detection tier for this job (default: "
+                             "the lane's default — fast for "
+                             "interactive, exact for batch)")
     submit.add_argument("--wait", type=float, metavar="SECONDS",
                         default=None,
                         help="block for the result up to SECONDS "
@@ -1240,6 +1302,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--kernels", default=None,
                        help="comma-separated kernel backends for the "
                             "serial kernel axis (default python,numpy)")
+    bench.add_argument("--tiers", default=None,
+                       help="comma-separated detection tiers for the "
+                            "serial tier axis (exact,fast); tiers other "
+                            "than plain 'exact' join the workload "
+                            "identity (default exact,fast; --quick "
+                            "defaults to exact only)")
+    bench.add_argument("--transports", default=None,
+                       help="comma-separated dispatch transports for "
+                            "the parallel cells (default pickle,shm); "
+                            "'none' drops the parallel cells entirely "
+                            "for a serial-only deterministic matrix")
     bench.add_argument("--metric", default=None, metavar="SPEC",
                        help="distance metric for the whole matrix; "
                             "non-Euclidean metrics drop Euclidean-only "

@@ -125,18 +125,45 @@ class DetectionRun:
 # Single-job DOD framework
 # ----------------------------------------------------------------------
 class _DODMapper(Mapper):
-    """Fig. 3 map function: core record + zero or more support records."""
+    """Fig. 3 map function: core record + zero or more support records.
 
-    def __init__(self, plan: PartitionPlan, r: float) -> None:
+    ``certified_ids`` is the fast tier's pre-cleared inlier set: a
+    certified point is demoted from core (tag 0) to support (tag 1) in
+    its *own* partition, so every reducer still sees its complete
+    core ∪ support pool (Lemma 3.1 exactness is untouched) but no
+    detector work is spent re-deciding a point the certification pass
+    already bounded.
+
+    ``dropped_ids`` (a subset of ``certified_ids``) are certified points
+    strictly farther than ``r`` from every residue point: no remaining
+    query can count them as a witness, so they are not emitted at all —
+    neither core nor support.  Dropping them shrinks shuffle volume
+    without changing any pool a residue query consults.
+    """
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        r: float,
+        certified_ids: Optional[frozenset] = None,
+        dropped_ids: Optional[frozenset] = None,
+    ) -> None:
         self.plan = plan
         self.r = r
+        self.certified_ids = certified_ids or frozenset()
+        self.dropped_ids = dropped_ids or frozenset()
 
     def map(self, key, value, ctx: TaskContext):
         pid, point = key, value
+        if pid in self.dropped_ids:
+            ctx.counters.incr("dod", "dropped_records")
+            ctx.add_cost(_MAP_RECORD_COST)
+            return
         point_t = tuple(float(x) for x in point)
         core = self.plan.core_pid(point_t)
+        core_tag = 1 if pid in self.certified_ids else 0
         emitted = 1
-        yield core, (0, pid, point_t)
+        yield core, (core_tag, pid, point_t)
         for support_pid in self.plan.support_pids(point_t, self.r):
             yield support_pid, (1, pid, point_t)
             emitted += 1
@@ -147,12 +174,26 @@ class _DODMapper(Mapper):
         """Vectorized block path: same output pairs as :meth:`map`."""
         if not records:
             return []
+        dropped = self.dropped_ids
+        n_in = len(records)
+        if dropped:
+            records = [r for r in records if r[0] not in dropped]
+            ctx.counters.incr(
+                "dod", "dropped_records", n_in - len(records)
+            )
+            if not records:
+                ctx.add_cost(_MAP_RECORD_COST * n_in)
+                return []
         ids = [r[0] for r in records]
         points = np.asarray([r[1] for r in records], dtype=float)
         core, support_pairs = self.plan.assign_batch(points, self.r)
         tuples = [tuple(map(float, p)) for p in points]
+        certified = self.certified_ids
         pairs = [
-            (int(core[i]), (0, ids[i], tuples[i]))
+            (
+                int(core[i]),
+                (1 if ids[i] in certified else 0, ids[i], tuples[i]),
+            )
             for i in range(len(records))
         ]
         for row, pid in support_pairs:
@@ -162,7 +203,7 @@ class _DODMapper(Mapper):
             "dod", "support_records", emitted - len(records)
         )
         ctx.add_cost(
-            _MAP_RECORD_COST * len(records) + _MAP_EMIT_COST * emitted
+            _MAP_RECORD_COST * n_in + _MAP_EMIT_COST * emitted
         )
         return pairs
 
@@ -245,6 +286,8 @@ class DODFramework:
         plan: PartitionPlan,
         params: OutlierParams,
         n_reducers: int,
+        certified_ids: Optional[frozenset] = None,
+        dropped_ids: Optional[frozenset] = None,
     ) -> DetectionRun:
         partitioner = (
             DictPartitioner(plan.allocation)
@@ -253,7 +296,10 @@ class DODFramework:
         )
         job = MapReduceJob(
             name=f"dod-detect-{plan.strategy}",
-            mapper=_DODMapper(plan, params.r),
+            mapper=_DODMapper(
+                plan, params.r, certified_ids=certified_ids,
+                dropped_ids=dropped_ids,
+            ),
             reducer=_DODReducer(
                 params, plan.algorithm_plan, self.default_algorithm,
                 kernel=self.kernel, metric=self.metric,

@@ -44,6 +44,14 @@ from ..partitioning import (
     PartitioningStrategy,
     PlanRequest,
 )
+from ..sampling import collect_minibucket_stats
+from ..tiers import (
+    TierCertification,
+    build_sensitivity_sample,
+    pick_tier,
+    resolve_tier,
+    run_certification,
+)
 from .dataset import Dataset
 from .framework import DetectionRun, DODFramework, DomainBaseline
 from .outliers import OutlierParams
@@ -63,6 +71,15 @@ class PipelineResult:
     preprocess_wall: float = 0.0
     detect_wall: float = 0.0
     trace: Optional[Span] = None
+    tier: str = "exact"
+    certification: Optional[TierCertification] = None
+
+    @property
+    def residue_fraction(self) -> Optional[float]:
+        """Deterministic fast-tier residue fraction (``None`` when exact)."""
+        if self.certification is None:
+            return None
+        return self.certification.residue_fraction
 
     # ------------------------------------------------------------------
     @property
@@ -187,6 +204,7 @@ def detect_outliers(
     tracer: Optional[Tracer] = None,
     kernel: Optional[str] = None,
     metric: Optional[str] = None,
+    tier: Optional[str] = None,
 ) -> PipelineResult:
     """Detect all distance-threshold outliers in ``dataset``.
 
@@ -204,6 +222,15 @@ def detect_outliers(
     metric-safe pivot partitioner, and a non-metric-generic ``detector``
     raises :class:`~repro.metrics.MetricUnsupported` up front instead of
     returning a wrong answer.
+    ``tier`` selects the detection tier (``"exact"``/``"fast"``/
+    ``"auto"``; ``None`` resolves to exact).  The fast tier prepends a
+    sensitivity-sampled certification pass that pre-clears the bulk of
+    points as inliers and leaves only the residue to the exact
+    machinery — the outlier set is byte-identical either way (see
+    :mod:`repro.tiers`).  ``"auto"`` consults the cost model with the
+    measured mini-bucket density.  The fast tier needs supporting areas,
+    so the Domain baseline rejects ``"fast"`` (and ``"auto"`` stays
+    exact there).
     Sizing defaults adapt to the dataset: ``n_reducers`` from the cluster
     (capped at 64 in-process), ``n_partitions`` = 2x reducers,
     ``n_buckets`` ~ n/20 mini buckets (within [64, 1024]), and
@@ -226,6 +253,7 @@ def detect_outliers(
     # Resolve eagerly: an unavailable backend (numba without numba) must
     # fail here with a clear error, not inside a reducer subprocess.
     kernel_name = resolve_kernel(kernel).name
+    tier_requested = resolve_tier(tier)
     metric_obj = resolve_metric(metric)
     # Euclidean threads ``None`` downstream so the default path stays
     # byte-identical to a metric-unaware run.
@@ -297,13 +325,53 @@ def detect_outliers(
                 strategy_name = plan.strategy
 
             start = time.perf_counter()
+            tier_used = tier_requested
+            certification: Optional[TierCertification] = None
+            certified_ids: Optional[frozenset] = None
+            dropped_ids: Optional[frozenset] = None
+            tier_trace_ids: set[int] = set()
+            if tier_requested != "exact" and not uses_support:
+                if tier_requested == "fast":
+                    raise ValueError(
+                        "the fast tier pre-clears points inside the "
+                        "supporting-area framework; the Domain baseline "
+                        "has no supporting areas — use --tier exact or "
+                        "a supporting-area strategy"
+                    )
+                tier_used = "exact"  # auto: Domain stays exact
+            if tier_used != "exact":
+                stats = collect_minibucket_stats(
+                    runtime, records, dataset.bounds,
+                    n_buckets=n_buckets, rate=sample_rate, seed=seed,
+                    n_reducers=n_reducers,
+                )
+                tier_used = pick_tier(
+                    tier_used, dataset.n, dataset.bounds.area, params,
+                    dataset.ndim, stats=stats,
+                )
+            if tier_used == "fast":
+                sample = build_sensitivity_sample(
+                    dataset.points, dataset.ids, stats, params, seed=seed
+                )
+                certified, dropped, certification, certify_job = (
+                    run_certification(
+                        runtime, records, sample, params,
+                        kernel=kernel, metric=metric_arg,
+                    )
+                )
+                certified_ids = frozenset(certified)
+                dropped_ids = frozenset(dropped)
+                if certify_job.trace is not None:
+                    tier_trace_ids.add(id(certify_job.trace))
             if uses_support:
                 framework = DODFramework(
                     default_algorithm=detector, kernel=kernel,
                     metric=metric_arg,
                 )
                 run = framework.run(
-                    runtime, records, plan, params, n_reducers
+                    runtime, records, plan, params, n_reducers,
+                    certified_ids=certified_ids,
+                    dropped_ids=dropped_ids,
                 )
             else:
                 baseline = DomainBaseline(
@@ -313,6 +381,10 @@ def detect_outliers(
                 run = baseline.run(
                     runtime, records, plan, params, n_reducers
                 )
+            if tier_used == "fast":
+                # The certify pass is part of the detection phase: its
+                # counters, cost units and trace roll up with the run.
+                run.jobs.insert(0, certify_job)
             detect_wall = time.perf_counter() - start
 
             detect_traces = {
@@ -321,10 +393,13 @@ def detect_outliers(
             }
             for child in run_span.children:
                 if child.kind == "job":
-                    child.annotate(
-                        stage="detect" if id(child) in detect_traces
-                        else "preprocess"
-                    )
+                    if id(child) in tier_trace_ids:
+                        child.annotate(stage="tier")
+                    else:
+                        child.annotate(
+                            stage="detect" if id(child) in detect_traces
+                            else "preprocess"
+                        )
             run_span.annotate(
                 strategy=strategy_name,
                 kernel=kernel_name,
@@ -334,6 +409,16 @@ def detect_outliers(
                 run_span.annotate(metric=metric_arg)
             if degraded_from is not None:
                 run_span.annotate(strategy_degraded_from=degraded_from)
+            if tier_used != "exact" or tier_requested != "exact":
+                run_span.annotate(tier=tier_used)
+            if certification is not None:
+                run_span.annotate(
+                    tier_certified=certification.certified,
+                    tier_residue_fraction=certification.residue_fraction,
+                    tier_bound=certification.bound,
+                    tier_sample_size=certification.sample_size,
+                    tier_dropped=certification.dropped,
+                )
     finally:
         runtime.tracer = prev_tracer
 
@@ -346,4 +431,6 @@ def detect_outliers(
         preprocess_wall=plan.preprocess_cost,
         detect_wall=detect_wall,
         trace=run_span,
+        tier=tier_used,
+        certification=certification,
     )

@@ -15,14 +15,17 @@ from .models import (
     ball_volume,
     cell_based_cost,
     cell_based_ring_cost,
+    default_sample_size,
     density,
     estimate_cost,
     expected_occupied_cells,
+    fast_tier_cost,
     kdtree_cost,
     nested_loop_cost,
     pivot_cost,
     proximity_graph_cost,
     select_algorithm,
+    select_tier,
 )
 
 __all__ = [
@@ -45,4 +48,7 @@ __all__ = [
     "pivot_cost",
     "proximity_graph_cost",
     "select_algorithm",
+    "fast_tier_cost",
+    "default_sample_size",
+    "select_tier",
 ]

@@ -84,6 +84,9 @@ __all__ = [
     "proximity_graph_cost",
     "select_algorithm",
     "estimate_cost",
+    "fast_tier_cost",
+    "default_sample_size",
+    "select_tier",
     "ALL_TACTICS",
     "CostModel",
 ]
@@ -364,6 +367,118 @@ def select_algorithm(
         if cost < best_cost:
             best, best_cost = name, cost
     return best
+
+
+def fast_tier_cost(
+    n: float,
+    area: float,
+    params: OutlierParams,
+    ndim: int = 2,
+    sample_size: float | None = None,
+    candidates: tuple[str, ...] = ("nested_loop", "cell_based"),
+    mu: float | None = None,
+) -> float:
+    """Cost of the sensitivity-sampled fast tier (certify + exact residue).
+
+    Three terms, mirroring :mod:`repro.tiers`'s phases:
+
+    * sample assembly — one hash-ranked pass over the data, charged at the
+      index weight;
+    * certification — every point counts sample witnesses with an early
+      exit at ``k + 1``, so the per-point work is
+      ``min(m, k + 1 / p_hit)`` where ``p_hit = mu / n`` is the chance a
+      sample candidate is a witness (``mu = rho * A(p)`` the expected
+      neighbor count);
+    * residue — the uncertified fraction pays the exact machinery.  A
+      point certifies when it has ``>= k`` witnesses among ``m`` samples,
+      i.e. roughly when ``m * mu / n >= k``; ``min(k * n / (m * mu), 1)``
+      is the same crude-but-monotone residue proxy the proximity-graph
+      model uses.
+
+    ``mu`` overrides the uniform-density expected neighbor count with a
+    measured estimate (e.g. the mini-bucket point-weighted mean from
+    :func:`repro.tiers.estimated_mean_neighbors`) — real data is
+    clustered, so the uniform proxy can be badly pessimistic about how
+    much the sample certifies.
+
+    Zero-area data is the infinitely-dense limit shared by every model
+    here: ``mu = inf`` drives both the early-exit term and the residue
+    fraction to their minima, so the cost stays finite and comparable —
+    raw ``inf`` densities (e.g. ``MiniBucketStats.bucket_density`` on a
+    zero-area bucket) never leak into the tier comparison.
+    """
+    if n <= 0:
+        return 0.0
+    m = float(sample_size) if sample_size is not None else default_sample_size(
+        n, params
+    )
+    m = min(max(m, 1.0), n)
+    if mu is None:
+        mu = density(n, area) * ball_volume(params.r, ndim)
+    if mu <= 0:
+        per_point, residue_frac = m, 1.0
+    elif math.isinf(mu):
+        per_point, residue_frac = min(float(params.k) + 1.0, m), 0.0
+    else:
+        hit_rate = min(mu / n, 1.0)
+        expected_scan = (
+            m if hit_rate <= 0 else (float(params.k) + 1.0) / hit_rate
+        )
+        per_point = min(expected_scan, m)
+        residue_frac = min(float(params.k) * n / (m * mu), 1.0)
+    certify = n * max(per_point, SCAN_FLOOR)
+    residue_n = residue_frac * n
+    exact_model = select_algorithm(
+        residue_n, area * residue_frac, params, ndim, candidates
+    )
+    residue_cost = estimate_cost(
+        exact_model, residue_n, area * residue_frac, params, ndim
+    )
+    return INDEX_WEIGHT * n + certify + residue_cost
+
+
+def default_sample_size(n: float, params: OutlierParams) -> float:
+    """Default sensitivity-sample size for ``n`` points.
+
+    Large enough that a point in a region of average density sees well
+    over ``k`` sample witnesses (``16 (k+1)`` floor), capped at two
+    fifths of the data.  The cap trades certify-pass work (grid-pruned,
+    so cheap per query) for certification power: at ``m = 2n/5`` a point
+    needs only ``~2.5k`` true neighbors to certify, which keeps the
+    residue — and with it the shuffle the exact machinery pays for —
+    small on clustered data.
+    """
+    if n <= 0:
+        return 0.0
+    return float(min(n, max(16.0 * (params.k + 1), 0.4 * n)))
+
+
+def select_tier(
+    n: float,
+    area: float,
+    params: OutlierParams,
+    ndim: int = 2,
+    sample_size: float | None = None,
+    candidates: tuple[str, ...] = ("nested_loop", "cell_based"),
+    mu: float | None = None,
+) -> str:
+    """Pick ``"fast"`` or ``"exact"`` for the given dataset statistics.
+
+    ``detect --tier auto`` routes here: the fast tier wins when its
+    certify-then-residue cost undercuts running the cheapest exact tactic
+    over the whole dataset.  ``mu`` is the measured expected neighbor
+    count when available (see :func:`fast_tier_cost`).  Both sides share
+    the degenerate-input treatment above, so the comparison is always
+    between finite numbers.
+    """
+    if n <= 0:
+        return "exact"
+    exact_model = select_algorithm(n, area, params, ndim, candidates)
+    exact = estimate_cost(exact_model, n, area, params, ndim)
+    fast = fast_tier_cost(
+        n, area, params, ndim, sample_size, candidates, mu=mu
+    )
+    return "fast" if fast < exact else "exact"
 
 
 @dataclass(frozen=True)

@@ -60,6 +60,13 @@ from ..partitioning import (
     plan_from_dict,
     plan_to_dict,
 )
+from ..sampling import collect_minibucket_stats
+from ..tiers import (
+    build_sensitivity_sample,
+    pick_tier,
+    resolve_tier,
+    run_certification,
+)
 # The routed-records job shape is shared with the streaming subsystem:
 # records arrive pre-assigned to partitions and verdicts come back
 # tagged ``(pid, outlier_id)``.
@@ -109,6 +116,7 @@ class CheckpointedResult:
     plan: object = None
     jobs: List = field(default_factory=list)
     trace: Optional[Span] = None
+    tier: str = "exact"
 
     @property
     def n_partitions(self) -> int:
@@ -143,6 +151,7 @@ def run_checkpointed(
     kernel: Optional[str] = None,
     plan=None,
     metric: Optional[str] = None,
+    tier: Optional[str] = None,
 ) -> CheckpointedResult:
     """Detect outliers with durable per-partition commits.
 
@@ -162,6 +171,12 @@ def run_checkpointed(
     identity: resuming under a different metric raises
     :class:`CheckpointMismatch` rather than mixing verdicts from two
     different distance functions.
+    ``tier`` selects the detection tier; ``"auto"`` resolves against the
+    cost model *before* the manifest is written, so the identity always
+    records a concrete tier ("fast" joins the config the same way a
+    non-default metric does — pre-existing exact checkpoints keep their
+    exact config dict).  The resolution is a deterministic function of
+    the dataset, so re-calling with ``"auto"`` resumes cleanly.
     ``plan`` (optional) supplies a pre-built partition plan for a
     *fresh* run — the warm-worker path of the service tier, where a
     repeat submission of the same dataset skips the sampling
@@ -181,6 +196,16 @@ def run_checkpointed(
             )
         if strategy.name not in METRIC_SAFE_STRATEGIES:
             strategy = MetricSafePartitioner(metric=metric_obj)
+    tier_requested = resolve_tier(tier)
+    if tier_requested != "exact" and not strategy.uses_support_area:
+        if tier_requested == "fast":
+            raise ValueError(
+                "the fast tier pre-clears points inside the "
+                "supporting-area framework; the Domain baseline has no "
+                "supporting areas — use --tier exact or a "
+                "supporting-area strategy"
+            )
+        tier_requested = "exact"  # auto: Domain stays exact
     cluster = cluster or ClusterConfig()
     runtime = runtime or LocalRuntime(cluster)
     tracer = tracer or runtime.tracer or Tracer()
@@ -215,18 +240,73 @@ def run_checkpointed(
             checkpoint_dir=checkpoint_dir,
             r=params.r, k=params.k, n_points=dataset.n,
         ) as run_span:
+            # Tier work runs before the manifest is read/written: the
+            # resolved tier is part of the run identity, and the
+            # certified set is a deterministic function of the dataset,
+            # so a resumed run recomputes the identical demotions.
+            tier_used = tier_requested
+            certification = None
+            certify_job = None
+            certified_ids: frozenset = frozenset()
+            dropped_ids: frozenset = frozenset()
+            if tier_requested != "exact":
+                tier_records = list(dataset.records())
+                stats = collect_minibucket_stats(
+                    runtime, tier_records, dataset.bounds,
+                    n_buckets=int(min(1024, max(64, dataset.n // 20))),
+                    rate=min(0.5, max(0.005, 2000 / max(dataset.n, 1))),
+                    seed=seed,
+                    n_reducers=n_reducers,
+                )
+                tier_used = pick_tier(
+                    tier_requested, dataset.n, dataset.bounds.area,
+                    params, dataset.ndim, stats=stats,
+                )
+                if tier_used == "fast":
+                    sample = build_sensitivity_sample(
+                        dataset.points, dataset.ids, stats, params,
+                        seed=seed,
+                    )
+                    certified, dropped, certification, certify_job = (
+                        run_certification(
+                            runtime, tier_records, sample, params,
+                            kernel=kernel, metric=metric_arg,
+                        )
+                    )
+                    certified_ids = frozenset(certified)
+                    dropped_ids = frozenset(dropped)
+                    counters.merge(certify_job.counters)
+            if tier_used != "exact":
+                # Mirrors the metric rule: only a non-default tier joins
+                # the identity, so pre-existing exact checkpoints keep
+                # their exact config dict and stay resumable.
+                config["tier"] = tier_used
             result = _run(
                 dataset, params, checkpoint_dir, journal_path, strategy,
                 detector, runtime, n_reducers, n_partitions, seed,
                 config, counters, run_span, abort_after_commits,
-                manifest_extra, kernel, plan, metric_arg,
+                manifest_extra, kernel, plan, metric_arg, certified_ids,
+                dropped_ids,
             )
+            result.tier = tier_used
+            if certify_job is not None:
+                result.jobs.insert(0, certify_job)
             run_span.annotate(
                 resumed=result.resumed,
                 partitions_replayed=len(result.replayed_partitions),
                 partitions_executed=len(result.executed_partitions),
                 n_outliers=len(result.outlier_ids),
             )
+            if tier_used != "exact" or tier_requested != "exact":
+                run_span.annotate(tier=tier_used)
+            if certification is not None:
+                run_span.annotate(
+                    tier_certified=certification.certified,
+                    tier_residue_fraction=certification.residue_fraction,
+                    tier_bound=certification.bound,
+                    tier_sample_size=certification.sample_size,
+                    tier_dropped=certification.dropped,
+                )
     finally:
         runtime.tracer = prev_tracer
     result.trace = run_span
@@ -238,6 +318,7 @@ def _run(
     dataset, params, checkpoint_dir, journal_path, strategy, detector,
     runtime, n_reducers, n_partitions, seed, config, counters, run_span,
     abort_after_commits, manifest_extra, kernel, warm_plan, metric,
+    certified_ids=frozenset(), dropped_ids=frozenset(),
 ):
     plan, resumed = _load_or_build_plan(
         dataset, params, checkpoint_dir, journal_path, strategy,
@@ -251,13 +332,30 @@ def _run(
 
     # Route every record once (the map side's work, paid up front so
     # replayed partitions never touch their points again).
-    core, pairs = plan.assign_batch(dataset.points, params.r)
-    partition_records: Dict[int, List[tuple]] = {}
+    # Certified points beyond r of every residue point can witness no
+    # remaining query (support_halo): they are filtered out before
+    # routing, so the assignment scan, the tuple conversions and the
+    # per-record loop below all shrink with the drop — that per-record
+    # work, not the detector, is what dominates a warm-plan run.
     ids = dataset.ids
-    tuples = [tuple(map(float, p)) for p in dataset.points]
-    for i in range(dataset.n):
+    points = dataset.points
+    if dropped_ids:
+        kept = np.asarray(
+            [int(i) not in dropped_ids for i in ids], dtype=bool
+        )
+        ids = ids[kept]
+        points = points[kept]
+    core, pairs = plan.assign_batch(points, params.r)
+    partition_records: Dict[int, List[tuple]] = {}
+    tuples = [tuple(map(float, p)) for p in points]
+    for i in range(len(tuples)):
+        pid_i = int(ids[i])
+        # Tier-certified inliers are demoted to support records in their
+        # own core partition: they still serve as neighbors (pools stay
+        # complete, Lemma 3.1), but get no verdict of their own.
+        tag = 1 if pid_i in certified_ids else 0
         partition_records.setdefault(int(core[i]), []).append(
-            (0, int(ids[i]), tuples[i])
+            (tag, pid_i, tuples[i])
         )
     for row, pid in pairs:
         partition_records.setdefault(int(pid), []).append(

@@ -1,5 +1,15 @@
 """Distributed sampling and mini-bucket statistics (DMT stage 1)."""
 
-from .minibuckets import MiniBucketStats, collect_minibucket_stats
+from .minibuckets import (
+    MiniBucketStats,
+    assemble_bucket_counts,
+    collect_minibucket_stats,
+    splitmix64,
+)
 
-__all__ = ["MiniBucketStats", "collect_minibucket_stats"]
+__all__ = [
+    "MiniBucketStats",
+    "assemble_bucket_counts",
+    "collect_minibucket_stats",
+    "splitmix64",
+]

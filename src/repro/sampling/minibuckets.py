@@ -27,7 +27,29 @@ from ..mapreduce import (
     TaskContext,
 )
 
-__all__ = ["MiniBucketStats", "collect_minibucket_stats"]
+__all__ = [
+    "MiniBucketStats",
+    "assemble_bucket_counts",
+    "collect_minibucket_stats",
+    "splitmix64",
+]
+
+
+def splitmix64(x: np.ndarray, seed: int) -> np.ndarray:
+    """splitmix64 hash: uniform, deterministic, seedable.
+
+    Pure uint64 arithmetic (wrap-around on overflow), vectorized.  Both
+    the Bernoulli sampler below and the sensitivity sampler in
+    :mod:`repro.tiers` rank points with this hash, so their selections
+    are reproducible across block layouts and runtimes.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        x = x + np.uint64((seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x = x ^ (x >> np.uint64(31))
+    return x
 
 
 @dataclass(frozen=True)
@@ -51,6 +73,15 @@ class MiniBucketStats:
         return self.grid.cell_rect(self.grid.unflatten(flat))
 
     def bucket_density(self, flat: int) -> float:
+        """Estimated points per unit area for one bucket.
+
+        Zero-area buckets (degenerate domains where every coordinate of the
+        bucket collapses) return ``inf`` — the infinitely-dense limit, the
+        same convention as :func:`repro.costmodel.density`.  Callers that
+        feed densities into cost or tier-selection comparisons must clamp
+        through the cost models (which map the limit to finite costs); raw
+        ``inf`` must not reach ``select_algorithm``/``select_tier``.
+        """
         rect = self.bucket_rect(flat)
         area = rect.area
         return float(self.counts[flat]) / area if area > 0 else float("inf")
@@ -102,11 +133,10 @@ class _SampleMapper(Mapper):
         )[keep]
         flats = self.grid.flat_indices(self.grid.cells_of(points))
         counts = np.bincount(flats, minlength=self.grid.n_cells)
-        return [
-            (int(bucket), int(count))
-            for bucket, count in zip(np.nonzero(counts)[0],
-                                     counts[np.nonzero(counts)[0]])
-        ]
+        occupied = np.flatnonzero(counts)
+        # ``tolist`` materializes python ints, so the emitted pairs stay
+        # byte-identical to the per-record path's combiner output.
+        return list(zip(occupied.tolist(), counts[occupied].tolist()))
 
     def _keep(self, pid: int) -> bool:
         x = self._splitmix(np.asarray([pid], dtype=np.uint64))[0]
@@ -117,18 +147,7 @@ class _SampleMapper(Mapper):
         return (hashes / float(2**64)) < self.rate
 
     def _splitmix(self, x: np.ndarray) -> np.ndarray:
-        """splitmix64 hash: uniform, deterministic, seedable.
-
-        Pure uint64 arithmetic (wrap-around on overflow), vectorized.
-        """
-        with np.errstate(over="ignore"):
-            x = x + np.uint64(
-                (self.seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
-            )
-            x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-            x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-            x = x ^ (x >> np.uint64(31))
-        return x
+        return splitmix64(x, self.seed)
 
 
 class _SumCombiner(Reducer):
@@ -141,6 +160,28 @@ class _CollectReducer(Reducer):
         yield key, sum(values)
 
 
+def assemble_bucket_counts(outputs, n_cells: int, rate: float) -> np.ndarray:
+    """Aggregate reducer outputs ``(bucket, count)`` into the bucket table.
+
+    Counts *accumulate* (``+=``) so the assembly stays correct if a bucket
+    key ever arrives more than once — e.g. from a substrate whose shuffle
+    does not group keys globally.  The current runtimes group each key in
+    exactly one reducer, so duplicates indicate a shuffle bug; we assert on
+    them rather than silently keeping only the last record (the old
+    behavior, which was correct only while a key could never repeat).
+    """
+    counts = np.zeros(n_cells, dtype=float)
+    seen: set = set()
+    for bucket, count in outputs:
+        assert bucket not in seen, (
+            f"duplicate bucket key {bucket!r} in sampling job output; "
+            "shuffle no longer groups keys globally"
+        )
+        seen.add(bucket)
+        counts[bucket] += count / rate
+    return counts
+
+
 def collect_minibucket_stats(
     runtime: LocalRuntime,
     input_data,
@@ -148,12 +189,16 @@ def collect_minibucket_stats(
     n_buckets: int = 1024,
     rate: float = 0.005,
     seed: int = 1,
+    n_reducers: int = 1,
 ) -> MiniBucketStats:
     """Run the sampling job and assemble :class:`MiniBucketStats`.
 
     ``input_data`` is an HDFS file (or record list) of ``(id, point)``
     records.  ``n_buckets`` is the approximate mini-bucket count; the grid
-    is balanced across dimensions.
+    is balanced across dimensions.  ``n_reducers`` defaults to the paper's
+    centralized single reducer (Fig. 6); callers that already hold a sized
+    cluster (the tier layer) may spread the aggregation — the assembled
+    table is identical either way.
     """
     grid = UniformGrid.with_cells(domain, n_buckets)
     job = MapReduceJob(
@@ -161,11 +206,9 @@ def collect_minibucket_stats(
         mapper=_SampleMapper(grid, rate, seed),
         reducer=_CollectReducer(),
         combiner=_SumCombiner(),
-        n_reducers=1,  # plan generation is centralized, per the paper
+        n_reducers=n_reducers,
     )
     result = runtime.run(job, input_data)
-    counts = np.zeros(grid.n_cells, dtype=float)
-    for bucket, count in result.outputs:
-        counts[bucket] = count / rate
+    counts = assemble_bucket_counts(result.outputs, grid.n_cells, rate)
     kept = result.counters.get("sampling", "kept")
     return MiniBucketStats(grid, counts, rate, kept)

@@ -87,12 +87,16 @@ class ServiceClient:
         with_ids: bool = False,
         n_partitions: Optional[int] = None,
         n_reducers: Optional[int] = None,
+        tier: Optional[str] = None,
     ) -> int:
         """Queue one detection job; returns its id.
 
         The input path is recorded, not copied — it must stay readable
         until the job runs (absolute-ified here so workers started from
         another directory still find it).
+        ``tier=None`` defers to the lane's default — ``fast`` for the
+        interactive lane, ``exact`` for everything else; pass an
+        explicit tier ("exact", "fast", "auto") to override.
         """
         spec = {
             "input": os.path.abspath(input_path),
@@ -109,6 +113,7 @@ class ServiceClient:
             "metric": metric,
             "n_partitions": n_partitions,
             "n_reducers": n_reducers,
+            "tier": tier,
         }
         return self.store.submit(spec, tenant=tenant, lane=lane)
 

@@ -84,6 +84,9 @@ def _job_spec_defaults(spec: Dict[str, Any]) -> Dict[str, Any]:
         "metric": None,
         "n_partitions": None,
         "n_reducers": None,
+        # None defers to the lane default at execution time:
+        # interactive jobs run the fast tier, batch jobs stay exact.
+        "tier": None,
     }
     out.update(spec)
     return out
@@ -232,6 +235,16 @@ class ServiceWorker:
         key = self._plan_key(fingerprint, spec, sizing)
         cached = self._memo_get(key)
         plan_cache_hit = cached is not None
+        # Lane default: the interactive lane trades nothing but the
+        # certification pass for latency (verdicts are tier-invariant),
+        # batch jobs stay on the exact path.  An explicit spec tier
+        # always wins.  The partition plan is tier-independent, so the
+        # warm-plan memo is shared across tiers.
+        tier = spec.get("tier")
+        if tier is None:
+            tier = (
+                "fast" if job["lane_name"] == "interactive" else "exact"
+            )
 
         t0 = time.perf_counter()
         result = run_checkpointed(
@@ -241,7 +254,7 @@ class ServiceWorker:
             n_partitions=sizing["n_partitions"],
             n_reducers=sizing["n_reducers"],
             seed=int(spec["seed"]), kernel=spec["kernel"],
-            metric=spec["metric"],
+            metric=spec["metric"], tier=tier,
             plan=cached.plan if plan_cache_hit else None,
             manifest_extra={"job_id": int(job["id"]),
                             "tenant": job["tenant"],
@@ -286,9 +299,13 @@ class ServiceWorker:
             "queue_wait_seconds": queue_wait,
             "run_seconds": run_seconds,
             "worker_pid": self.pid,
+            "tier": result.tier,
             "recovery": counters.group("recovery"),
             "service": counters.group("service"),
         }
+        tier_counters = counters.group("tier")
+        if tier_counters:
+            report["tier_counters"] = tier_counters
         trace = self._trace_report(job, report, result, queue_wait,
                                    run_seconds)
         return report, trace
@@ -308,6 +325,7 @@ class ServiceWorker:
                 "run_seconds": run_seconds,
                 "plan_cache_hit": report["plan_cache_hit"],
                 "resumed": report["resumed"],
+                "tier": report["tier"],
             },
         )
         wait_span = Span(

@@ -55,7 +55,7 @@ from ..mapreduce import (
     Mapper,
     TaskContext,
 )
-from ..geometry import UniformGrid
+from ..geometry import Rect, UniformGrid
 from ..observability import Span, Tracer
 from ..params import OutlierParams
 from ..partitioning import (
@@ -65,6 +65,14 @@ from ..partitioning import (
     PlanRequest,
     plan_from_dict,
     plan_to_dict,
+)
+from ..sampling import collect_minibucket_stats
+from ..tiers import (
+    SensitivitySample,
+    build_sensitivity_sample,
+    certified_mask,
+    pick_tier,
+    resolve_tier,
 )
 from .plan_cache import DMTPlanCache
 
@@ -161,6 +169,7 @@ class StreamingDetector:
         tracer: Optional[Tracer] = None,
         kernel: Optional[str] = None,
         metric: Optional[str] = None,
+        tier: Optional[str] = None,
     ) -> None:
         self.params = params
         self.strategy = resolve_strategy(strategy)
@@ -206,6 +215,18 @@ class StreamingDetector:
             raise ValueError("drift_threshold must be positive")
         self.drift_threshold = drift_threshold
         self.seed = seed
+        # ``auto`` re-resolves at every plan (re)build, when fresh
+        # mini-bucket stats exist; ``tier`` holds the current concrete
+        # tier ("exact" until the first build decides otherwise).
+        self.tier_requested = resolve_tier(tier)
+        self.tier = (
+            "exact" if self.tier_requested == "auto"
+            else self.tier_requested
+        )
+        #: Certification witnesses; rebuilt with the plan.  Sound for a
+        #: stream because neighbors only accumulate: a point certified
+        #: against real stream points keeps its k witnesses forever.
+        self._sample: Optional[SensitivitySample] = None
         self.tracer = tracer or self.runtime.tracer or Tracer()
         self.counters = Counters()
         self.reports: List[StreamBatchReport] = []
@@ -280,6 +301,8 @@ class StreamingDetector:
             cache_hit=report.cache_hit,
             n_outliers=len(outliers),
         )
+        if self.tier != "exact" or self.tier_requested != "exact":
+            span.annotate(tier=self.tier)
         self.reports.append(report)
         return report
 
@@ -401,11 +424,30 @@ class StreamingDetector:
         plan = self._cache.plan
         core, pairs = plan.assign_batch(points, self.params.r)
         tuples = [tuple(map(float, p)) for p in points]
+        certified_rows: Set[int] = set()
+        if self._sample is not None and points.shape[0]:
+            mask, evals = certified_mask(
+                points, ids, self._sample, self.params,
+                kernel=self.kernel, metric=self.metric,
+            )
+            certified_rows = set(np.flatnonzero(mask).tolist())
+            self.counters.incr(
+                "tier", "certified", int(len(certified_rows))
+            )
+            self.counters.incr(
+                "tier", "residue",
+                int(points.shape[0] - len(certified_rows)),
+            )
+            self.counters.incr("tier", "distance_evals", int(evals))
         dirty: Set[int] = set()
         for i in range(points.shape[0]):
             pid = int(core[i])
+            # Certified inliers enter their core partition demoted to a
+            # support record: still a neighbor for everyone (pools stay
+            # complete), never a verdict of their own.
+            tag = 1 if i in certified_rows else 0
             self._partition_records.setdefault(pid, []).append(
-                (0, int(ids[i]), tuples[i])
+                (tag, int(ids[i]), tuples[i])
             )
             dirty.add(pid)
         for row, pid in pairs:
@@ -440,6 +482,24 @@ class StreamingDetector:
         )
         self._partition_records = {}
         self._outliers_by_pid = {}
+        self._sample = None
+        if self.tier_requested != "exact":
+            stats = collect_minibucket_stats(
+                self.runtime, list(dataset.records()), dataset.bounds,
+                n_buckets=n_buckets,
+                rate=min(0.5, max(0.005, 2000 / max(n, 1))),
+                seed=self.seed,
+                n_reducers=self.n_reducers,
+            )
+            self.tier = pick_tier(
+                self.tier_requested, n, dataset.bounds.area,
+                self.params, dataset.ndim, stats=stats,
+            )
+            if self.tier == "fast":
+                self._sample = build_sensitivity_sample(
+                    dataset.points, dataset.ids, stats, self.params,
+                    seed=self.seed,
+                )
         self._route(self._ids, self._points)
 
     # ------------------------------------------------------------------
@@ -540,6 +600,32 @@ class StreamingDetector:
             "drift_threshold": float(self.drift_threshold),
             "n_partitions": int(self.n_partitions),
             "n_reducers": int(self.n_reducers),
+            "tier": self.tier_requested,
+            "tier_resolved": self.tier,
+            "sample": (
+                None if self._sample is None else {
+                    "ids": self._sample.ids.tolist(),
+                    "points": self._sample.points.tolist(),
+                    # The mini-bucket grid the sample was drawn on: it
+                    # only prunes certification candidates, so snapshots
+                    # predating it load fine (full-scan fallback).
+                    "grid": (
+                        None if self._sample.grid is None else {
+                            "low": [
+                                float(x)
+                                for x in self._sample.grid.domain.low
+                            ],
+                            "high": [
+                                float(x)
+                                for x in self._sample.grid.domain.high
+                            ],
+                            "shape": [
+                                int(s) for s in self._sample.grid.shape
+                            ],
+                        }
+                    ),
+                }
+            ),
             "batch_index": int(self._batch_index),
             "ids": None if self._ids is None else self._ids.tolist(),
             "points": (
@@ -596,7 +682,27 @@ class StreamingDetector:
             drift_threshold=payload["drift_threshold"],
             seed=payload["seed"],
             tracer=tracer,
+            tier=payload.get("tier", "exact"),
         )
+        detector.tier = payload.get(
+            "tier_resolved", payload.get("tier", "exact")
+        )
+        sample = payload.get("sample")
+        if sample is not None:
+            sample_grid = sample.get("grid")
+            detector._sample = SensitivitySample(
+                ids=np.asarray(sample["ids"], dtype=np.int64),
+                points=np.asarray(sample["points"], dtype=float),
+                grid=(
+                    None if sample_grid is None else UniformGrid(
+                        Rect(
+                            tuple(sample_grid["low"]),
+                            tuple(sample_grid["high"]),
+                        ),
+                        tuple(sample_grid["shape"]),
+                    )
+                ),
+            )
         detector._batch_index = int(payload["batch_index"])
         if payload["ids"] is not None:
             detector._ids = np.asarray(payload["ids"], dtype=np.int64)
@@ -650,6 +756,7 @@ class StreamingDetector:
         tracer: Optional[Tracer] = None,
         kernel: Optional[str] = None,
         metric: Optional[str] = None,
+        tier: Optional[str] = None,
     ) -> "StreamingDetector":
         """Load a snapshot if one is trustworthy, else start fresh.
 
@@ -659,7 +766,11 @@ class StreamingDetector:
         snapshot's recorded one when ``None``).  ``metric`` *is*
         identity: it defines the answer, so a snapshot taken under a
         different metric raises ``ValueError`` like any other parameter
-        mismatch.
+        mismatch.  ``tier`` joins the identity the same way (compared as
+        requested — ``auto`` matches ``auto``): the verdicts are tier-
+        invariant, but the routed-record tags and the cached witness
+        sample are not, so silently switching tiers mid-stream would mix
+        bookkeeping from two disciplines.
 
         The degradation policy of the recovery layer, applied to
         streams: a missing snapshot silently starts a fresh detector
@@ -685,7 +796,7 @@ class StreamingDetector:
                     runtime=runtime, cluster=cluster,
                     n_partitions=n_partitions, n_reducers=n_reducers,
                     drift_threshold=drift_threshold, seed=seed,
-                    tracer=tracer, kernel=kernel,
+                    tracer=tracer, kernel=kernel, tier=tier,
                 )
             warnings.warn(
                 f"streaming snapshot unusable ({exc}); starting the "
@@ -699,6 +810,7 @@ class StreamingDetector:
                 n_partitions=n_partitions, n_reducers=n_reducers,
                 drift_threshold=drift_threshold, seed=seed,
                 tracer=tracer, kernel=kernel, metric=metric,
+                tier=tier,
             )
             fresh.counters.incr("recovery", "snapshot_fallbacks")
             span = Span.begin(
@@ -721,17 +833,19 @@ class StreamingDetector:
         requested = (
             float(params.r), int(params.k),
             requested_strategy, detector, requested_metric,
+            resolve_tier(tier),
         )
         found = (
             float(loaded.params.r), int(loaded.params.k),
             loaded.strategy.name, loaded.detector, loaded.metric,
+            loaded.tier_requested,
         )
         if requested != found:
             raise ValueError(
                 f"snapshot {path} was taken with "
-                f"(r, k, strategy, detector, metric)={found}, requested "
-                f"{requested}; pass matching parameters or a fresh "
-                "snapshot path"
+                f"(r, k, strategy, detector, metric, tier)={found}, "
+                f"requested {requested}; pass matching parameters or a "
+                "fresh snapshot path"
             )
         if kernel is not None:
             loaded.kernel = kernel

@@ -42,10 +42,11 @@ class TestBenchConfig:
 class TestRunBench:
     def test_matrix_shape(self, tiny_result):
         runs = tiny_result["runs"]
-        # one serial cell per kernel + one parallel cell per transport,
-        # per detector
+        # one serial cell per kernel + one parallel cell per transport +
+        # one serial cell per non-exact tier, per detector
+        extra_tiers = [t for t in TINY.tiers if t != "exact"]
         assert len(runs) == len(TINY.detectors) * (
-            len(TINY.kernels) + len(TINY.transports)
+            len(TINY.kernels) + len(TINY.transports) + len(extra_tiers)
         )
         kinds = {(r["runtime"], r["transport"], r["kernel"]) for r in runs}
         assert kinds == {
@@ -57,9 +58,14 @@ class TestRunBench:
 
     def test_deterministic_fields_agree_across_cells(self, tiny_result):
         runs = tiny_result["runs"]
-        for field in ("n_outliers", "outliers_hash", "distance_evals",
-                      "shuffle_records"):
+        # Verdicts agree everywhere, tiers included; the work profile
+        # (evals, shuffle volume) is only comparable among exact cells —
+        # the fast tier certifies and drops by design.
+        for field in ("n_outliers", "outliers_hash"):
             assert len({r[field] for r in runs}) == 1, field
+        exact = [r for r in runs if r.get("tier", "exact") == "exact"]
+        for field in ("distance_evals", "shuffle_records"):
+            assert len({r[field] for r in exact}) == 1, field
         assert tiny_result["derived"]["identical_outliers"] is True
 
     def test_parallel_cells_carry_dispatch_stats(self, tiny_result):
