@@ -39,6 +39,14 @@ from .harness import SCHEMA_VERSION, _outliers_hash
 __all__ = ["ServiceBenchConfig", "run_service_bench"]
 
 
+def _nearest_rank(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(np.ceil(q * len(ordered))))
+    return float(ordered[rank - 1])
+
+
 @dataclass(frozen=True)
 class ServiceBenchConfig:
     """Knobs of one service benchmark invocation."""
@@ -128,6 +136,11 @@ def run_service_bench(
             raise RuntimeError(
                 f"service bench failed to drain (exit {exit_code})"
             )
+
+        # Per-tenant rates straight from the store's counter surface —
+        # the same numbers ``repro status --tenant`` renders, recorded
+        # here so a bench artifact documents the multi-tenant shape.
+        tenant_rates = client.tenant_stats()
 
         rows: List[Dict[str, Any]] = []
         plan_hits = 0
@@ -224,6 +237,11 @@ def run_service_bench(
             "mean_queue_wait_seconds": (
                 sum(waits) / len(waits) if waits else 0.0
             ),
+            "queue_wait_p50_seconds": _nearest_rank(waits, 0.50),
+            "queue_wait_p95_seconds": _nearest_rank(waits, 0.95),
+            # Per-tenant submitted/done/failed/quarantined counts and
+            # queue-wait percentiles (repro status --tenant's payload).
+            "tenant_rates": tenant_rates,
             "plan_cache_hit_rate": (
                 plan_hits / len(rows) if rows else 0.0
             ),

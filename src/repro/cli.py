@@ -75,6 +75,18 @@ class CLIError(Exception):
 _last_quarantined = 0
 
 
+def _reset_quarantine_counter() -> None:
+    """Zero the row-quarantine counter at command entry.
+
+    Commands that read ``_last_quarantined`` must call this first:
+    the module-level counter would otherwise accumulate across
+    in-process invocations (tests, embedding callers that invoke
+    ``_cmd_*`` directly) and over-report ``rows_quarantined``.
+    """
+    global _last_quarantined
+    _last_quarantined = 0
+
+
 def _load_dataset(
     path: str, with_ids: bool, quarantine_out: str | None = None
 ) -> Dataset:
@@ -245,6 +257,7 @@ def _write_report(report: dict, output: str | None) -> None:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
+    _reset_quarantine_counter()
     code = _enforce_runtime_flags(args)
     if code:
         return code
@@ -358,6 +371,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     """Finish an interrupted ``detect --checkpoint-dir`` run."""
     from .recovery import SnapshotError, read_manifest
 
+    _reset_quarantine_counter()
     code = _enforce_runtime_flags(args)
     if code:
         return code
@@ -469,6 +483,7 @@ def _detect_append(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    _reset_quarantine_counter()
     code = _enforce_runtime_flags(args)
     if code:
         return code
@@ -584,6 +599,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def log(message: str) -> None:
         print(f"serve: {message}", file=sys.stderr)
 
+    watermark = args.disk_low_watermark_mb
     return serve(
         args.spool,
         workers=args.workers,
@@ -592,6 +608,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_depth=args.max_depth,
         tenant_max_inflight=args.tenant_max_inflight,
         boost_after=args.boost_after,
+        max_attempts=args.max_attempts,
+        requeue_backoff=args.requeue_backoff,
+        ttl_seconds=args.ttl,
+        disk_low_watermark_bytes=(
+            None if watermark is None else int(watermark * 1024 * 1024)
+        ),
         log=log,
     )
 
@@ -626,7 +648,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _await_result(client, job_id: int, timeout, output) -> int:
-    from .service import JobFailed, JobTimeout
+    from .service import (
+        JobDeadlineExceeded,
+        JobExpired,
+        JobFailed,
+        JobTimeout,
+    )
 
     try:
         report = client.result(
@@ -635,7 +662,7 @@ def _await_result(client, job_id: int, timeout, output) -> int:
     except JobTimeout as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_BACKPRESSURE
-    except JobFailed as exc:
+    except (JobDeadlineExceeded, JobExpired, JobFailed) as exc:
         raise CLIError(str(exc)) from exc
     _write_report(report, output)
     return 0
@@ -645,6 +672,20 @@ def _cmd_status(args: argparse.Namespace) -> int:
     from .service import JobNotFound, ServiceClient
 
     with ServiceClient(args.spool) as client:
+        if args.tenant is not None:
+            if args.job_id is not None:
+                raise CLIError(
+                    "--tenant shows per-tenant rates for the whole "
+                    "queue; drop the job id"
+                )
+            tenant = None if args.tenant == "*" else args.tenant
+            stats = client.tenant_stats(tenant)
+            if tenant is not None and tenant not in stats:
+                raise CLIError(
+                    f"tenant {tenant!r} has no jobs in this spool"
+                )
+            print(json.dumps(stats, indent=2))
+            return 0
         if args.job_id is None:
             print(json.dumps(client.queue_stats(), indent=2))
             return 0
@@ -656,8 +697,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
         key: job.get(key)
         for key in (
             "id", "tenant", "lane_name", "state", "cancel_requested",
-            "attempts", "submitted_at", "started_at", "finished_at",
-            "queue_wait_seconds", "owner_pid", "error",
+            "attempts", "failure_kind", "submitted_at", "started_at",
+            "finished_at", "queue_wait_seconds", "owner_pid", "error",
         )
         if job.get(key) is not None or key in ("state", "error")
     }
@@ -686,6 +727,42 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
         except JobNotFound as exc:
             raise CLIError(str(exc)) from exc
     print(f"job {args.job_id}: {state}")
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    with ServiceClient(args.spool) as client:
+        health = client.health()
+    print(json.dumps(health, indent=2))
+    # Degraded is a transient service condition, not a usage error:
+    # exit 3 so wrappers can alert/back off, matching submit's contract.
+    return 0 if health["ok"] else EXIT_BACKPRESSURE
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    if args.ttl is not None and args.ttl < 0:
+        raise CLIError("--ttl must be >= 0 seconds")
+    with ServiceClient(args.spool) as client:
+        if args.ttl is None:
+            configured = client.queue_stats()["config"]["ttl_seconds"]
+            if configured is None:
+                raise CLIError(
+                    "no retention TTL: pass --ttl SECONDS or configure "
+                    "the spool with 'repro serve --ttl'"
+                )
+        swept = client.store.sweep_expired(
+            ttl_seconds=args.ttl,
+            include_quarantined=args.include_quarantined,
+            dry_run=args.dry_run,
+        )
+    verb = "would reap" if args.dry_run else "reaped"
+    for job_id in swept:
+        print(f"{verb} job {job_id}")
+    print(f"{verb} {len(swept)} settled job(s)")
     return 0
 
 
@@ -839,6 +916,14 @@ def _service_bench(args: argparse.Namespace) -> int:
         f"rate {derived['plan_cache_hit_rate']:.0%}; identical "
         f"outliers: {derived['identical_outliers']}"
     )
+    for tenant, rates in sorted(derived["tenant_rates"].items()):
+        print(
+            f"  {tenant}: {rates['submitted']} submitted, "
+            f"{rates['done']} done, {rates['failed']} failed, "
+            f"{rates['quarantined']} quarantined; queue wait "
+            f"p50 {rates.get('queue_wait_p50_seconds', 0.0):.3f}s / "
+            f"p95 {rates.get('queue_wait_p95_seconds', 0.0):.3f}s"
+        )
     return 0 if derived["identical_outliers"] else 1
 
 
@@ -1166,6 +1251,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--boost-after", type=int, default=None,
                        help="serve a starved lane after it was passed "
                             "over this many times (default 4)")
+    serve.add_argument("--max-attempts", type=int, default=None,
+                       help="retry budget: a job whose workers died "
+                            "this many times is quarantined instead of "
+                            "re-queued (default 10; 0 disables)")
+    serve.add_argument("--requeue-backoff", type=float, default=None,
+                       metavar="SECONDS",
+                       help="base hold before an orphaned job may be "
+                            "re-claimed, doubling per attempt "
+                            "(default 0: immediate)")
+    serve.add_argument("--ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="retention TTL: settled jobs older than "
+                            "this are tombstoned and their spool dirs "
+                            "reaped (default: keep forever)")
+    serve.add_argument("--disk-low-watermark-mb", type=float,
+                       default=None, metavar="MB",
+                       help="degrade (reject submissions) when the "
+                            "spool volume's free space drops below "
+                            "this; lifts at 2x (default: disabled)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -1209,6 +1313,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status.add_argument("job_id", nargs="?", type=int, default=None)
     add_spool_flag(status)
+    status.add_argument("--tenant", nargs="?", const="*", default=None,
+                        metavar="NAME",
+                        help="per-tenant rates instead: submitted/done/"
+                             "failed/quarantined counts and queue-wait "
+                             "p50/p95 (bare --tenant shows every "
+                             "tenant)")
     status.set_defaults(func=_cmd_status)
 
     result = sub.add_parser(
@@ -1231,6 +1341,32 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("job_id", type=int)
     add_spool_flag(cancel)
     cancel.set_defaults(func=_cmd_cancel)
+
+    health = sub.add_parser(
+        "health",
+        help="service health: queue depths per lane, worker liveness, "
+             "degrade state, quarantine count (exit 3 when degraded)",
+    )
+    add_spool_flag(health)
+    health.set_defaults(func=_cmd_health)
+
+    gc = sub.add_parser(
+        "gc",
+        help="reap settled jobs past the retention TTL: tombstone the "
+             "row (status/result answer 'expired'), remove the spool "
+             "dir",
+    )
+    add_spool_flag(gc)
+    gc.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                    help="retention age override; default: the spool's "
+                         "configured ttl (error if neither is set)")
+    gc.add_argument("--include-quarantined", action="store_true",
+                    help="also reap quarantined jobs (their journals "
+                         "are otherwise kept for post-mortem)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="list what would be reaped without touching "
+                         "rows or directories")
+    gc.set_defaults(func=_cmd_gc)
 
     clean = sub.add_parser(
         "clean-shm",

@@ -8,7 +8,10 @@ only the uncommitted fraction of the work:
 * :mod:`~repro.recovery.journal` — the append-only fsynced WAL of
   per-partition verdicts;
 * :mod:`~repro.recovery.checkpoint` — :func:`run_checkpointed`, the
-  resumable twin of :func:`repro.core.detect_outliers`.
+  resumable twin of :func:`repro.core.detect_outliers`;
+* :mod:`~repro.recovery.diskguard` — typed disk-pressure failures
+  (:class:`DiskPressureError`) and the low-watermark probe behind the
+  service tier's degrade mode.
 
 Streaming snapshots (:meth:`repro.streaming.StreamingDetector.save`)
 build on the same artifact envelope.
@@ -22,6 +25,13 @@ from .checkpoint import (
     dataset_fingerprint,
     read_manifest,
     run_checkpointed,
+)
+from .diskguard import (
+    ENOSPC_AFTER_ENV,
+    ENOSPC_AT_ENV,
+    DiskPressureError,
+    check_watermark,
+    free_bytes,
 )
 from .journal import (
     CHAOS_KILL_ENV,
@@ -39,16 +49,21 @@ from .snapshot import (
 
 __all__ = [
     "CHAOS_KILL_ENV",
+    "ENOSPC_AFTER_ENV",
+    "ENOSPC_AT_ENV",
     "JOURNAL_FILE",
     "MANIFEST_FILE",
     "CheckpointMismatch",
     "CheckpointedResult",
+    "DiskPressureError",
     "JournalCorrupt",
     "ResultJournal",
     "SimulatedCrash",
     "SnapshotError",
     "canonical_bytes",
+    "check_watermark",
     "dataset_fingerprint",
+    "free_bytes",
     "payload_crc32",
     "read_artifact",
     "read_manifest",

@@ -565,6 +565,11 @@ def _detect_pending(
         )
         for pid in owned:
             outliers_by_pid[pid] = set(outs.get(pid, ()))
+        # Chain the caller's listener (the service worker hangs its
+        # lease heartbeat and run-deadline check here) *after* the
+        # journal commit, so what it observes is always durable.
+        if prev_listener is not None:
+            prev_listener(phase, task_id, outputs)
 
     prev_listener = runtime.commit_listener
     runtime.commit_listener = on_commit

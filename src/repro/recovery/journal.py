@@ -21,6 +21,13 @@ Replay semantics distinguish the two ways a journal goes bad:
   :class:`JournalCorrupt` is raised and the caller degrades to a full
   re-run.  Wrong output is never an outcome.
 
+**Disk pressure**: an append that fails with ``ENOSPC``/``EDQUOT`` (or
+trips the ``REPRO_CHAOS_ENOSPC_AFTER_COMMITS`` injector) raises a typed
+:class:`~repro.recovery.diskguard.DiskPressureError` — and first
+truncates the file back to its last durably-committed length, so the
+journal a resume later replays is the clean committed prefix, never a
+half-written tail frozen mid-fsync.
+
 Chaos hook: ``REPRO_CHAOS_KILL_AFTER_COMMITS=<n>`` makes the journal
 SIGKILL its own process immediately after the ``n``-th durable append —
 the process-kill harness uses this to die at an exact commit boundary.
@@ -33,6 +40,8 @@ import os
 import signal
 import zlib
 from typing import Any, Dict, List, Optional, Tuple
+
+from .diskguard import DiskPressureError, injected_enospc_after, is_disk_full
 
 __all__ = ["JournalCorrupt", "SimulatedCrash", "ResultJournal"]
 
@@ -79,25 +88,64 @@ class ResultJournal:
         )
         self._seq = 0
         self._fh = None
+        self._durable_bytes: Optional[int] = None
 
     # -- writing -------------------------------------------------------
     def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
-        """Durably commit one record; returns the record as written."""
+        """Durably commit one record; returns the record as written.
+
+        Raises :class:`~repro.recovery.diskguard.DiskPressureError`
+        (never a torn journal) when the disk is full: the file is
+        truncated back to the last committed record first.
+        """
         record: Dict[str, Any] = {"kind": kind, "seq": self._seq}
         record.update(fields)
         record["crc32"] = _record_crc(record)
         if self._fh is None:
             self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":"))
-            + "\n"
-        )
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        if self._durable_bytes is None:
+            self._durable_bytes = os.fstat(self._fh.fileno()).st_size
+        inject_after = injected_enospc_after()
+        if inject_after is not None and self.commits >= inject_after:
+            raise DiskPressureError(
+                self.path, "injected",
+                f"chaos: ENOSPC after {self.commits} commits",
+            )
+        try:
+            self._fh.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            if is_disk_full(exc):
+                self._truncate_to_durable()
+                raise DiskPressureError(
+                    self.path, "enospc", str(exc)
+                ) from exc
+            raise
+        self._durable_bytes = os.fstat(self._fh.fileno()).st_size
         self._seq += 1
         self.commits += 1
         self._chaos_check()
         return record
+
+    def _truncate_to_durable(self) -> None:
+        """Roll the file back to the last fsynced record boundary."""
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - nothing left to flush
+            pass
+        self._fh = None
+        if self._durable_bytes is not None:
+            try:
+                # Shrinking never needs new blocks, so this works even
+                # on a full disk; replay() handles it failing anyway
+                # (the tail is torn, the committed prefix survives).
+                os.truncate(self.path, self._durable_bytes)
+            except OSError:  # pragma: no cover - torn-tail fallback
+                pass
 
     def close(self) -> None:
         if self._fh is not None:

@@ -28,6 +28,8 @@ import tempfile
 import zlib
 from typing import Any
 
+from .diskguard import DiskPressureError, is_disk_full
+
 __all__ = [
     "SnapshotError",
     "canonical_bytes",
@@ -68,7 +70,13 @@ def payload_crc32(payload: Any) -> int:
 
 
 def write_artifact(path: str, kind: str, version: int, payload: Any) -> None:
-    """Atomically write a checksummed artifact to ``path``."""
+    """Atomically write a checksummed artifact to ``path``.
+
+    A full disk raises a typed
+    :class:`~repro.recovery.diskguard.DiskPressureError`; the write is
+    staged in a temp file, so the previous artifact (or its absence) is
+    untouched either way.
+    """
     body = {
         "format": _FORMAT,
         "kind": kind,
@@ -86,11 +94,13 @@ def write_artifact(path: str, kind: str, version: int, payload: Any) -> None:
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, path)
-    except BaseException:
+    except BaseException as exc:
         try:
             os.unlink(tmp)
         except OSError:
             pass
+        if is_disk_full(exc) and not isinstance(exc, DiskPressureError):
+            raise DiskPressureError(path, "enospc", str(exc)) from exc
         raise
     # Make the rename itself durable: fsync the containing directory.
     dir_fd = os.open(directory, os.O_RDONLY)

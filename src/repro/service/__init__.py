@@ -12,7 +12,9 @@ pieces, all sharing one *spool directory* as their only coupling:
   cached partition plans across jobs and run every job through the
   checkpoint journal, so a killed worker's job *resumes*;
 * :mod:`~repro.service.server` — the ``repro serve`` driver: spawns
-  and supervises the worker pool, re-queues orphaned jobs, drains;
+  and supervises the worker pool, re-queues orphaned jobs (or
+  quarantines poison ones past their retry budget), enforces per-lane
+  deadlines, runs TTL gc and the disk-pressure degrade probe, drains;
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the library
   API behind ``repro submit / status / result / cancel``.
 
@@ -26,6 +28,8 @@ from .store import (
     STATES,
     TERMINAL_STATES,
     InvalidTransition,
+    JobDeadlineExceeded,
+    JobExpired,
     JobNotFound,
     JobStore,
     QueueFull,
@@ -41,6 +45,8 @@ __all__ = [
     "STATES",
     "TERMINAL_STATES",
     "InvalidTransition",
+    "JobDeadlineExceeded",
+    "JobExpired",
     "JobFailed",
     "JobNotFound",
     "JobStore",

@@ -25,6 +25,8 @@ from typing import Any, Dict, Optional
 
 from .store import (
     TERMINAL_STATES,
+    JobDeadlineExceeded,
+    JobExpired,
     JobNotFound,
     JobStore,
     ServiceError,
@@ -32,6 +34,10 @@ from .store import (
 from .worker import RESULT_FILE, TRACE_FILE
 
 __all__ = ["ServiceClient", "JobTimeout", "JobFailed"]
+
+_FAILURE_KIND_ERRORS = {
+    "deadline": JobDeadlineExceeded,
+}
 
 #: Seconds between store polls while waiting on a result.
 _WAIT_POLL_SECONDS = 0.05
@@ -130,6 +136,19 @@ class ServiceClient:
     def queue_stats(self) -> Dict[str, Any]:
         return self.store.stats()
 
+    def health(self) -> Dict[str, Any]:
+        """Service health: per-lane queue depths, worker liveness and
+        heartbeat age, degrade state, quarantine count (``repro
+        health``'s payload)."""
+        return self.store.health()
+
+    def tenant_stats(
+        self, tenant: Optional[str] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant rates: submitted/done/failed/quarantined counts
+        plus queue-wait p50/p95."""
+        return self.store.tenant_stats(tenant)
+
     # -- await ---------------------------------------------------------
     def wait(
         self, job_id: int, timeout: Optional[float] = None
@@ -153,9 +172,27 @@ class ServiceClient:
     def result(
         self, job_id: int, timeout: Optional[float] = None
     ) -> Dict[str, Any]:
-        """The finished job's report (raises on failed/cancelled)."""
+        """The finished job's report.
+
+        Raises typed errors for every way the job can be unreadable:
+        :class:`~repro.service.store.JobExpired` (TTL gc reaped it),
+        :class:`~repro.service.store.JobDeadlineExceeded` (its lane
+        deadline fired), and :class:`JobFailed` for everything else
+        that settled without a result (including quarantined poison
+        jobs, whose error names the preserved journal).
+        """
         job = self.wait(job_id, timeout=timeout)
+        if job["state"] == "expired":
+            raise JobExpired(
+                f"job {job_id} expired: {job.get('error') or 'reaped'}"
+            )
         if job["state"] != "done":
+            typed = _FAILURE_KIND_ERRORS.get(job.get("failure_kind"))
+            if typed is not None:
+                raise typed(
+                    f"job {job_id} {job['state']}: "
+                    f"{job.get('error') or '(no error recorded)'}"
+                )
             raise JobFailed(job)
         if job["result"] is not None:
             return job["result"]

@@ -20,6 +20,21 @@ watches them, and keeps the queue honest:
 ``drain=True`` turns the long-lived service into a batch pump: the
 driver exits once every job in the store has settled — the hermetic
 mode the tests and ``repro bench --service`` drive.
+
+The supervision sweep is also where the self-healing layer lives:
+
+* orphan adoption respects each job's **retry budget** — a job whose
+  workers died ``max_attempts`` times is *quarantined* (terminal,
+  journal preserved) instead of re-queued, so one poison job cannot
+  crash-loop the pool forever;
+* per-lane **queue/run deadlines** are enforced every sweep;
+* the **TTL sweeper** tombstones and reaps settled spool directories
+  when ``ttl_seconds`` is configured;
+* a **disk-pressure probe** checks the spool's free bytes against
+  ``disk_low_watermark_bytes`` and flips degrade mode (submissions
+  rejected with ``QueueFull(reason="disk")``) before the kernel starts
+  returning ENOSPC — and lifts it, with hysteresis, once free space
+  recovers past twice the watermark.
 """
 
 from __future__ import annotations
@@ -30,6 +45,7 @@ import signal
 import time
 from typing import Callable, Dict, List, Optional
 
+from ..recovery.diskguard import free_bytes
 from .store import TERMINAL_STATES, JobStore
 from .worker import worker_main
 
@@ -37,6 +53,8 @@ __all__ = ["ServiceServer", "serve"]
 
 #: Seconds between supervision sweeps (worker health, orphan adoption).
 _SUPERVISE_POLL_SECONDS = 0.1
+#: Seconds between the slower housekeeping passes (TTL gc, disk probe).
+_HOUSEKEEPING_SECONDS = 1.0
 
 
 class ServiceServer:
@@ -49,6 +67,10 @@ class ServiceServer:
         max_depth: Optional[int] = None,
         tenant_max_inflight: Optional[int] = None,
         boost_after: Optional[int] = None,
+        max_attempts: Optional[int] = None,
+        requeue_backoff: Optional[float] = None,
+        ttl_seconds: Optional[float] = None,
+        disk_low_watermark_bytes: Optional[int] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         if workers < 1:
@@ -60,12 +82,19 @@ class ServiceServer:
             max_depth=max_depth,
             tenant_max_inflight=tenant_max_inflight,
             boost_after=boost_after,
+            max_attempts=max_attempts,
+            requeue_backoff=requeue_backoff,
+            ttl_seconds=ttl_seconds,
+            disk_low_watermark_bytes=disk_low_watermark_bytes,
         )
         self.log = log or (lambda message: None)
         self._procs: Dict[int, multiprocessing.Process] = {}
         self._stop = False
+        self._last_housekeeping = 0.0
         self.workers_spawned = 0
         self.jobs_adopted = 0
+        self.jobs_quarantined = 0
+        self.jobs_expired = 0
 
     # -- worker pool ---------------------------------------------------
     def _spawn(self, worker_id: int) -> None:
@@ -86,7 +115,9 @@ class ServiceServer:
         self.log(f"worker {worker_id} up (pid {proc.pid})")
 
     def _supervise_once(self) -> None:
-        """One sweep: bury dead workers, adopt their jobs, respawn."""
+        """One sweep: bury dead workers, adopt their jobs (or
+        quarantine budget-exhausted ones), enforce deadlines, respawn,
+        and — at a slower cadence — run TTL gc and the disk probe."""
         for worker_id, proc in list(self._procs.items()):
             if proc.is_alive():
                 continue
@@ -96,16 +127,78 @@ class ServiceServer:
                 f"with code {proc.exitcode}"
             )
             del self._procs[worker_id]
-        adopted = self.store.requeue_orphans()
-        if adopted:
-            self.jobs_adopted += len(adopted)
+        self._adopt_orphans()
+        deadlines = self.store.expire_deadlines()
+        if deadlines["queue"]:
             self.log(
-                f"re-queued {len(adopted)} orphaned job(s): {adopted}"
+                f"failed {len(deadlines['queue'])} job(s) past their "
+                f"queue deadline: {deadlines['queue']}"
             )
+        if deadlines["run"]:
+            self.log(
+                f"cancel-requested {len(deadlines['run'])} job(s) past "
+                f"their run deadline: {deadlines['run']}"
+            )
+        now = time.time()
+        if now - self._last_housekeeping >= _HOUSEKEEPING_SECONDS:
+            self._last_housekeeping = now
+            self._housekeeping()
         if not self._stop:
             for worker_id in range(self.n_workers):
                 if worker_id not in self._procs:
                     self._spawn(worker_id)
+
+    def _adopt_orphans(self, startup: bool = False) -> None:
+        report = self.store.requeue_orphans()
+        requeued, quarantined = report["requeued"], report["quarantined"]
+        if requeued:
+            self.jobs_adopted += len(requeued)
+            if startup:
+                self.log(
+                    f"adopted {len(requeued)} in-flight job(s) from a "
+                    f"previous serve: {requeued}"
+                )
+            else:
+                self.log(
+                    f"re-queued {len(requeued)} orphaned job(s): "
+                    f"{requeued}"
+                )
+        if quarantined:
+            self.jobs_quarantined += len(quarantined)
+            self.log(
+                f"quarantined {len(quarantined)} poison job(s) past "
+                f"their retry budget: {quarantined}"
+            )
+
+    def _housekeeping(self) -> None:
+        """TTL garbage collection + the disk-pressure probe."""
+        swept = self.store.sweep_expired()
+        if swept:
+            self.jobs_expired += len(swept)
+            self.log(f"ttl gc reaped {len(swept)} job(s): {swept}")
+        low = int(self.store.config()["disk_low_watermark_bytes"] or 0)
+        if low <= 0:
+            return
+        free = free_bytes(self.spool_dir)
+        degraded = self.store.degraded()
+        if free < low and degraded is None:
+            self.store.set_degraded(
+                f"free disk {free} bytes < low watermark {low}",
+                kind="disk",
+            )
+            self.log(
+                f"DEGRADED: free disk {free} < watermark {low}; "
+                "rejecting new submissions"
+            )
+        elif (
+            degraded is not None
+            and degraded.get("kind") == "disk"
+            and free >= 2 * low
+        ):
+            self.store.clear_degraded()
+            self.log(
+                f"degrade lifted: free disk {free} >= {2 * low}"
+            )
 
     def _unsettled(self) -> int:
         stats = self.store.stats()["states"]
@@ -140,13 +233,7 @@ class ServiceServer:
         started = time.time()
         # Adopt before the first spawn so a restart's re-queued jobs are
         # at their lanes' front when the first claim happens.
-        adopted = self.store.requeue_orphans()
-        if adopted:
-            self.jobs_adopted += len(adopted)
-            self.log(
-                f"adopted {len(adopted)} in-flight job(s) from a "
-                f"previous serve: {adopted}"
-            )
+        self._adopt_orphans(startup=True)
         previous = {
             signal.SIGTERM: signal.signal(signal.SIGTERM, self._on_signal),
             signal.SIGINT: signal.signal(signal.SIGINT, self._on_signal),

@@ -11,7 +11,11 @@ broker would, without a broker process to install, start, or mock.
 **Job lifecycle** is a strict state machine::
 
     queued ──▶ running ──▶ done | failed | cancelled
-       └──────────────────▶ cancelled
+       │          │
+       │          └──▶ quarantined   (retry budget exhausted)
+       └──▶ cancelled | failed      (cancel / queue deadline)
+
+    done | failed | cancelled | quarantined ──▶ expired  (TTL gc)
 
 Transitions are compare-and-swap updates (``UPDATE ... WHERE state =
 ?``) — a lost race surfaces as :class:`InvalidTransition`, never as a
@@ -19,6 +23,32 @@ silently clobbered row.  Cancellation is cooperative past the queue:
 a queued job cancels immediately; a running job gets
 ``cancel_requested`` set and settles as ``cancelled`` when its worker
 reaches the next transition.
+
+**Self-healing** (PR 10) adds four defenses:
+
+* **retry budget + quarantine** — every claim increments ``attempts``;
+  an orphaned job whose attempts reached ``max_attempts`` transitions
+  to the terminal ``quarantined`` state instead of re-entering its
+  lane, with its spool directory (checkpoint journal included)
+  preserved for post-mortem.  Below the budget, re-queues honor an
+  exponential backoff (``requeue_backoff * 2**(attempts-1)`` seconds
+  in ``not_before``) so a crash-looping job cannot monopolize a lane.
+* **deadlines** — per-lane queue-wait and run deadlines
+  (``queue_deadline_<lane>`` / ``run_deadline_<lane>``; the
+  interactive lane defaults to a tight queue deadline, because a late
+  interactive answer is a wrong one).  Expired-in-queue jobs settle
+  ``failed`` with ``failure_kind="deadline"``; clients surface that as
+  the typed :class:`JobDeadlineExceeded`.
+* **TTL/GC** — :meth:`JobStore.sweep_expired` moves settled jobs past
+  the retention TTL to the terminal ``expired`` state (the row is the
+  atomic tombstone: it commits *before* the spool directory is
+  removed), so ``status``/``result`` return a typed
+  :class:`JobExpired`, never a raw missing-file error.  Unsettled jobs
+  are never swept.
+* **degrade mode** — :meth:`JobStore.set_degraded` flips a persistent
+  flag that makes :meth:`submit` reject with
+  ``QueueFull(reason="disk")`` while running jobs finish; the serve
+  driver sets it on disk pressure and clears it when space returns.
 
 **Admission control** happens at submit time, inside the insert
 transaction:
@@ -49,6 +79,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import sqlite3
 import time
 from typing import Any, Callable, Dict, List, Optional
@@ -62,6 +93,8 @@ __all__ = [
     "TenantQuotaExceeded",
     "JobNotFound",
     "InvalidTransition",
+    "JobDeadlineExceeded",
+    "JobExpired",
     "JobStore",
     "lane_priority",
     "lane_name",
@@ -73,8 +106,16 @@ __all__ = [
 #: tiered-detection roadmap item plugs into; ``batch`` is the default.
 LANES: Dict[str, int] = {"interactive": 0, "batch": 1}
 
-STATES = ("queued", "running", "done", "failed", "cancelled")
-TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+STATES = (
+    "queued", "running", "done", "failed", "cancelled",
+    "quarantined", "expired",
+)
+TERMINAL_STATES = frozenset(
+    {"done", "failed", "cancelled", "quarantined", "expired"}
+)
+#: States the TTL sweeper may tombstone ("quarantined" only on request
+#: — its journal is the post-mortem evidence).
+SWEEPABLE_STATES = frozenset({"done", "failed", "cancelled"})
 
 #: Default admission bounds (overridable per spool via ``configure``).
 DEFAULT_MAX_DEPTH = 64
@@ -84,6 +125,16 @@ DEFAULT_BOOST_AFTER = 4
 #: driver may treat its worker as dead even when the pid looks alive
 #: (pid reuse); heartbeats renew it.
 DEFAULT_LEASE_SECONDS = 600.0
+#: Retry budget: an orphaned job is quarantined once its claim count
+#: reaches this (a legitimately progressing resume chain needs several
+#: claims, so the default is generous; chaos tests tighten it).
+DEFAULT_MAX_ATTEMPTS = 10
+#: Base of the exponential re-queue backoff (seconds); 0 preserves the
+#: pre-PR-10 immediate lane-front re-adoption.
+DEFAULT_REQUEUE_BACKOFF = 0.0
+#: Tight queue-wait deadline for the interactive lane (seconds): an
+#: interactive answer that queued for minutes is not interactive.
+DEFAULT_INTERACTIVE_QUEUE_DEADLINE = 120.0
 
 DB_FILE = "service.db"
 
@@ -97,16 +148,28 @@ class QueueFull(ServiceError):
 
     Explicit backpressure — the caller sees the rejection immediately
     instead of the queue growing without bound or the submit hanging.
+    ``reason`` is machine-checkable: ``"depth"`` (the default bound),
+    ``"tenant"`` (per-tenant quota), or ``"disk"`` (the service is in
+    disk-pressure degrade mode and admits nothing new).
     """
 
-    def __init__(self, message: str, depth: int, bound: int) -> None:
+    def __init__(
+        self, message: str, depth: int, bound: int,
+        reason: str = "depth",
+    ) -> None:
         super().__init__(message)
         self.depth = depth
         self.bound = bound
+        self.reason = reason
 
 
 class TenantQuotaExceeded(QueueFull):
     """Submit rejected: this tenant is at its in-flight quota."""
+
+    def __init__(self, message: str, depth: int, bound: int,
+                 reason: str = "tenant") -> None:
+        super().__init__(message, depth=depth, bound=bound,
+                         reason=reason)
 
 
 class JobNotFound(ServiceError, KeyError):
@@ -118,6 +181,23 @@ class JobNotFound(ServiceError, KeyError):
 
 class InvalidTransition(ServiceError):
     """A state change that the job lifecycle does not allow."""
+
+
+class JobDeadlineExceeded(ServiceError):
+    """The job blew its lane's queue-wait or run deadline.
+
+    Raised by the worker mid-run (run deadline, checked at commit
+    boundaries) and by clients reading a job that settled with
+    ``failure_kind="deadline"``.
+    """
+
+
+class JobExpired(ServiceError, KeyError):
+    """The job settled long ago and the TTL sweeper reaped its spool
+    directory; only the tombstone row remains."""
+
+    def __str__(self) -> str:  # KeyError quotes its message otherwise
+        return self.args[0] if self.args else ""
 
 
 def lane_priority(lane: str | int) -> int:
@@ -160,7 +240,9 @@ CREATE TABLE IF NOT EXISTS jobs (
     attempts INTEGER NOT NULL DEFAULT 0,
     submitted_at REAL NOT NULL,
     started_at REAL,
-    finished_at REAL
+    finished_at REAL,
+    not_before REAL,
+    failure_kind TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state_lane
     ON jobs (state, lane, id);
@@ -172,14 +254,44 @@ CREATE TABLE IF NOT EXISTS config (
     key TEXT PRIMARY KEY,
     value TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS workers (
+    pid INTEGER PRIMARY KEY,
+    worker_id INTEGER NOT NULL,
+    started_at REAL NOT NULL,
+    last_heartbeat REAL NOT NULL,
+    jobs_run INTEGER NOT NULL DEFAULT 0
+);
 """
+
+#: Columns added after the PR-7 schema shipped; opening an old spool
+#: adds them in place (SQLite ALTER TABLE ADD COLUMN is O(1)).
+_JOBS_MIGRATIONS = {
+    "not_before": "ALTER TABLE jobs ADD COLUMN not_before REAL",
+    "failure_kind": "ALTER TABLE jobs ADD COLUMN failure_kind TEXT",
+}
 
 _CONFIG_DEFAULTS = {
     "max_depth": DEFAULT_MAX_DEPTH,
     "tenant_max_inflight": DEFAULT_TENANT_MAX_INFLIGHT,
     "boost_after": DEFAULT_BOOST_AFTER,
     "lease_seconds": DEFAULT_LEASE_SECONDS,
+    "max_attempts": DEFAULT_MAX_ATTEMPTS,
+    "requeue_backoff": DEFAULT_REQUEUE_BACKOFF,
+    # Per-lane deadlines, seconds; None disables.  Keys are
+    # f"queue_deadline_{lane}" / f"run_deadline_{lane}".
+    "queue_deadline_interactive": DEFAULT_INTERACTIVE_QUEUE_DEADLINE,
+    "queue_deadline_batch": None,
+    "run_deadline_interactive": None,
+    "run_deadline_batch": None,
+    # Retention TTL for settled spool directories; None = no auto-GC.
+    "ttl_seconds": None,
+    # Free-bytes low watermark that flips degrade mode; 0 disables.
+    "disk_low_watermark_bytes": 0,
 }
+
+#: Degrade flag's row in the config table (not a tunable — kept out of
+#: ``_CONFIG_DEFAULTS`` so ``configure`` can't silently clobber it).
+_DEGRADED_KEY = "degraded"
 
 
 class JobStore:
@@ -203,6 +315,17 @@ class JobStore:
         self._conn.execute("PRAGMA busy_timeout=30000")
         # executescript manages its own commit; don't wrap it in _txn.
         self._conn.executescript(_SCHEMA)
+        self._migrate()
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing spool's schema up to date in place."""
+        have = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(jobs)")
+        }
+        for column, ddl in _JOBS_MIGRATIONS.items():
+            if column not in have:
+                self._conn.execute(ddl)
 
     # -- plumbing ------------------------------------------------------
     def close(self) -> None:
@@ -223,8 +346,12 @@ class JobStore:
 
     # -- configuration -------------------------------------------------
     def configure(self, **overrides: Any) -> Dict[str, Any]:
-        """Persist admission-control overrides (serve's flags live here,
-        so submitting clients enforce the same bounds)."""
+        """Persist service-policy overrides (serve's flags live here,
+        so submitting clients enforce the same bounds).
+
+        ``None`` means "leave as is"; for deadline/TTL/watermark keys a
+        value of 0 (or negative) disables the check explicitly.
+        """
         unknown = set(overrides) - set(_CONFIG_DEFAULTS)
         if unknown:
             raise ServiceError(
@@ -265,6 +392,13 @@ class JobStore:
         now = time.time()
         with self._txn():
             config = self.config()
+            degraded = self._degraded_locked()
+            if degraded is not None:
+                raise QueueFull(
+                    f"service is degraded ({degraded['reason']}); "
+                    "not accepting new jobs until it recovers",
+                    depth=0, bound=0, reason=degraded.get("kind", "disk"),
+                )
             depth = self._conn.execute(
                 "SELECT COUNT(*) FROM jobs WHERE state = 'queued'"
             ).fetchone()[0]
@@ -295,23 +429,33 @@ class JobStore:
 
     # -- claim (priority + FIFO + bounded starvation) ------------------
     def claim(
-        self, owner_pid: Optional[int] = None
+        self,
+        owner_pid: Optional[int] = None,
+        now: Optional[float] = None,
     ) -> Optional[Dict[str, Any]]:
         """Atomically move the next eligible job to ``running``.
 
         Lane choice: any lane whose ``passed_over`` credit has reached
         ``boost_after`` is served first (most-starved wins); otherwise
         the highest-priority non-empty lane.  Within the chosen lane,
-        strictly the oldest job.  Returns the claimed job dict or
-        ``None`` when nothing is queued.
+        strictly the oldest job.  Jobs inside their re-queue backoff
+        window (``not_before`` in the future) are invisible; queued
+        jobs past their lane's queue deadline are settled ``failed``
+        with ``failure_kind="deadline"`` on the way, so a worker never
+        picks up work whose answer is already too late.  Returns the
+        claimed job dict or ``None`` when nothing is eligible.
         """
         owner_pid = os.getpid() if owner_pid is None else int(owner_pid)
-        now = time.time()
+        now = time.time() if now is None else float(now)
         with self._txn():
             config = self.config()
+            self._expire_queued_locked(config, now)
             lanes = self._conn.execute(
                 "SELECT lane, MIN(id) AS oldest FROM jobs "
-                "WHERE state = 'queued' GROUP BY lane ORDER BY lane"
+                "WHERE state = 'queued' "
+                "AND (not_before IS NULL OR not_before <= ?) "
+                "GROUP BY lane ORDER BY lane",
+                (now,),
             ).fetchall()
             if not lanes:
                 return None
@@ -335,7 +479,7 @@ class JobStore:
             job_id = int(chosen["oldest"])
             cursor = self._conn.execute(
                 "UPDATE jobs SET state = 'running', owner_pid = ?, "
-                "lease_deadline = ?, started_at = ?, "
+                "lease_deadline = ?, started_at = ?, not_before = NULL, "
                 "attempts = attempts + 1 "
                 "WHERE id = ? AND state = 'queued'",
                 (owner_pid, now + config["lease_seconds"], now, job_id),
@@ -368,6 +512,91 @@ class JobStore:
                  owner_pid),
             )
 
+    # -- deadlines -----------------------------------------------------
+    @staticmethod
+    def lane_deadline(
+        config: Dict[str, Any], prefix: str, lane: str | int
+    ) -> Optional[float]:
+        """The configured ``queue``/``run`` deadline for a lane in
+        seconds, or None when disabled (unset, 0, or negative)."""
+        value = config.get(f"{prefix}_deadline_{lane_name(lane_priority(lane))}")
+        if value is None or float(value) <= 0:
+            return None
+        return float(value)
+
+    def _expire_queued_locked(
+        self, config: Dict[str, Any], now: float
+    ) -> List[int]:
+        """Fail queued jobs past their lane's queue-wait deadline
+        (caller holds the transaction)."""
+        expired: List[int] = []
+        for lane, priority in LANES.items():
+            deadline = self.lane_deadline(config, "queue", priority)
+            if deadline is None:
+                continue
+            rows = self._conn.execute(
+                "SELECT id, submitted_at FROM jobs "
+                "WHERE state = 'queued' AND lane = ? "
+                "AND submitted_at <= ?",
+                (priority, now - deadline),
+            ).fetchall()
+            for row in rows:
+                waited = now - float(row["submitted_at"])
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'failed', "
+                    "failure_kind = 'deadline', error = ?, "
+                    "finished_at = ? WHERE id = ? AND state = 'queued'",
+                    (
+                        f"JobDeadlineExceeded: queued {waited:.1f}s > "
+                        f"lane {lane!r} queue deadline {deadline:g}s",
+                        now, int(row["id"]),
+                    ),
+                )
+                expired.append(int(row["id"]))
+        return expired
+
+    def expire_deadlines(
+        self, now: Optional[float] = None
+    ) -> Dict[str, List[int]]:
+        """Enforce both deadline families; the serve driver sweeps this.
+
+        Queued jobs past their lane's queue deadline settle ``failed``
+        immediately.  Running jobs past their lane's run deadline get
+        ``cancel_requested`` + ``failure_kind="deadline"`` — settling
+        stays cooperative (a worker mid-partition cannot be preempted
+        without losing its journal guarantees), but the worker's
+        commit-boundary check and the final ``finish()`` both honor it.
+        """
+        now = time.time() if now is None else float(now)
+        overdue: List[int] = []
+        with self._txn():
+            config = self.config()
+            expired = self._expire_queued_locked(config, now)
+            for lane, priority in LANES.items():
+                deadline = self.lane_deadline(config, "run", priority)
+                if deadline is None:
+                    continue
+                rows = self._conn.execute(
+                    "SELECT id, started_at FROM jobs "
+                    "WHERE state = 'running' AND lane = ? "
+                    "AND failure_kind IS NULL AND started_at <= ?",
+                    (priority, now - deadline),
+                ).fetchall()
+                for row in rows:
+                    ran = now - float(row["started_at"])
+                    self._conn.execute(
+                        "UPDATE jobs SET cancel_requested = 1, "
+                        "failure_kind = 'deadline', error = ? "
+                        "WHERE id = ? AND state = 'running'",
+                        (
+                            f"JobDeadlineExceeded: running {ran:.1f}s > "
+                            f"lane {lane!r} run deadline {deadline:g}s",
+                            int(row["id"]),
+                        ),
+                    )
+                    overdue.append(int(row["id"]))
+        return {"queue": expired, "run": overdue}
+
     # -- settle --------------------------------------------------------
     def finish(
         self,
@@ -376,13 +605,15 @@ class JobStore:
         result: Optional[Dict[str, Any]] = None,
         error: Optional[str] = None,
         owner_pid: Optional[int] = None,
+        failure_kind: Optional[str] = None,
     ) -> str:
         """Settle a running job as ``done`` or ``failed``.
 
         If cancellation was requested while the job ran, the job settles
         as ``cancelled`` instead (the result is discarded — the caller
-        asked for the job not to count).  Returns the state actually
-        recorded.
+        asked for the job not to count).  A ``failure_kind`` already
+        stamped on the row (a run-deadline sweep) is preserved over the
+        caller's.  Returns the state actually recorded.
         """
         if state not in ("done", "failed"):
             raise InvalidTransition(
@@ -390,8 +621,8 @@ class JobStore:
             )
         with self._txn():
             row = self._conn.execute(
-                "SELECT state, cancel_requested, owner_pid FROM jobs "
-                "WHERE id = ?",
+                "SELECT state, cancel_requested, owner_pid, error, "
+                "failure_kind FROM jobs WHERE id = ?",
                 (int(job_id),),
             ).fetchone()
             if row is None:
@@ -406,15 +637,20 @@ class JobStore:
                     f"not {owner_pid}"
                 )
             final = "cancelled" if row["cancel_requested"] else state
+            if row["failure_kind"] is not None:
+                failure_kind = row["failure_kind"]
+                error = error if error is not None else row["error"]
             self._conn.execute(
                 "UPDATE jobs SET state = ?, result = ?, error = ?, "
-                "owner_pid = NULL, lease_deadline = NULL, "
-                "finished_at = ? WHERE id = ? AND state = 'running'",
+                "failure_kind = ?, owner_pid = NULL, "
+                "lease_deadline = NULL, finished_at = ? "
+                "WHERE id = ? AND state = 'running'",
                 (
                     final,
                     None if final == "cancelled" or result is None
                     else json.dumps(result),
                     error,
+                    failure_kind if final != "done" else None,
                     time.time(),
                     int(job_id),
                 ),
@@ -459,22 +695,32 @@ class JobStore:
         self,
         is_alive: Optional[Callable[[int], bool]] = None,
         now: Optional[float] = None,
-    ) -> List[int]:
-        """Return dead workers' running jobs to their lanes.
+    ) -> Dict[str, List[int]]:
+        """Return dead workers' running jobs to their lanes — or
+        quarantine them once their retry budget is spent.
 
         A running job is orphaned when its owner pid no longer exists,
-        or its lease expired (covers pid reuse).  Re-queued jobs keep
-        their original id — oldest-first FIFO puts them at the front of
-        their lane, and their checkpoint journal turns the re-run into
-        a resume.
+        or its lease expired (covers pid reuse).  Below the
+        ``max_attempts`` budget the job is re-queued keeping its
+        original id (oldest-first FIFO puts it at the front of its
+        lane, its checkpoint journal turns the re-run into a resume),
+        behind an exponential ``requeue_backoff * 2**(attempts-1)``
+        hold-down.  At the budget it transitions to the terminal
+        ``quarantined`` state instead — its spool directory (journal
+        included) is left untouched for post-mortem.  Returns
+        ``{"requeued": [...], "quarantined": [...]}``.
         """
         is_alive = _pid_alive if is_alive is None else is_alive
         now = time.time() if now is None else now
-        adopted: List[int] = []
+        requeued: List[int] = []
+        quarantined: List[int] = []
         with self._txn():
+            config = self.config()
+            budget = int(config["max_attempts"])
+            backoff = float(config["requeue_backoff"])
             rows = self._conn.execute(
-                "SELECT id, owner_pid, lease_deadline FROM jobs "
-                "WHERE state = 'running'"
+                "SELECT id, owner_pid, lease_deadline, attempts "
+                "FROM jobs WHERE state = 'running'"
             ).fetchall()
             for row in rows:
                 dead = row["owner_pid"] is None or not is_alive(
@@ -484,16 +730,176 @@ class JobStore:
                     row["lease_deadline"] is not None
                     and row["lease_deadline"] < now
                 )
-                if dead or expired:
+                if not (dead or expired):
+                    continue
+                job_id = int(row["id"])
+                attempts = int(row["attempts"])
+                if budget > 0 and attempts >= budget:
                     self._conn.execute(
-                        "UPDATE jobs SET state = 'queued', "
+                        "UPDATE jobs SET state = 'quarantined', "
+                        "failure_kind = 'quarantine', error = ?, "
                         "owner_pid = NULL, lease_deadline = NULL, "
-                        "started_at = NULL "
+                        "finished_at = ? "
                         "WHERE id = ? AND state = 'running'",
-                        (int(row["id"]),),
+                        (
+                            f"poison job: worker died on all {attempts} "
+                            f"attempts (budget {budget}); journal kept "
+                            f"at {self.job_dir(job_id)} for post-mortem",
+                            now, job_id,
+                        ),
                     )
-                    adopted.append(int(row["id"]))
-        return adopted
+                    quarantined.append(job_id)
+                    continue
+                hold = (
+                    now + backoff * (2 ** max(0, attempts - 1))
+                    if backoff > 0 else None
+                )
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'queued', "
+                    "owner_pid = NULL, lease_deadline = NULL, "
+                    "started_at = NULL, not_before = ? "
+                    "WHERE id = ? AND state = 'running'",
+                    (hold, job_id),
+                )
+                requeued.append(job_id)
+        return {"requeued": requeued, "quarantined": quarantined}
+
+    # -- TTL / garbage collection --------------------------------------
+    def sweep_expired(
+        self,
+        ttl_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+        include_quarantined: bool = False,
+        dry_run: bool = False,
+    ) -> List[int]:
+        """Tombstone settled jobs past the retention TTL and reap their
+        spool directories.
+
+        Only *settled* jobs are candidates — ``queued``/``running``
+        jobs are never touched, whatever the TTL.  ``quarantined`` jobs
+        are kept (their journal is the post-mortem evidence) unless
+        ``include_quarantined`` is set.  The tombstone is atomic: the
+        row flips to ``expired`` (result cleared) in one transaction
+        *before* the directory is removed, so a reader always sees a
+        typed ``expired`` state, never a done-job with a missing file.
+        Returns the swept job ids.
+        """
+        now = time.time() if now is None else float(now)
+        if ttl_seconds is None:
+            ttl_seconds = self.config()["ttl_seconds"]
+        if ttl_seconds is None or float(ttl_seconds) < 0:
+            return []
+        ttl = float(ttl_seconds)
+        states = set(SWEEPABLE_STATES)
+        if include_quarantined:
+            states.add("quarantined")
+        marks = ",".join("?" for _ in states)
+        swept: List[int] = []
+        with self._txn():
+            rows = self._conn.execute(
+                f"SELECT id, state, error FROM jobs "
+                f"WHERE state IN ({marks}) "
+                "AND finished_at IS NOT NULL AND finished_at <= ?",
+                (*states, now - ttl),
+            ).fetchall()
+            for row in rows:
+                assert row["state"] in TERMINAL_STATES  # never unsettled
+                if dry_run:
+                    swept.append(int(row["id"]))
+                    continue
+                note = (
+                    f"expired: settled {row['state']!r} reaped after "
+                    f"ttl {ttl:g}s"
+                )
+                if row["error"]:
+                    note += f"; was: {row['error']}"
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'expired', result = NULL, "
+                    "error = ?, failure_kind = 'expired' "
+                    "WHERE id = ? AND state = ?",
+                    (note, int(row["id"]), row["state"]),
+                )
+                swept.append(int(row["id"]))
+        if not dry_run:
+            # Tombstones are durable; now the directories can go.  A
+            # crash here leaves an expired row with a directory that the
+            # next sweep's cleanup pass removes.
+            for job_id in swept:
+                shutil.rmtree(self.job_dir(job_id), ignore_errors=True)
+            for row in self._conn.execute(
+                "SELECT id FROM jobs WHERE state = 'expired'"
+            ):
+                leftover = self.job_dir(int(row["id"]))
+                if os.path.isdir(leftover):
+                    shutil.rmtree(leftover, ignore_errors=True)
+        return swept
+
+    # -- degrade mode --------------------------------------------------
+    def _degraded_locked(self) -> Optional[Dict[str, Any]]:
+        row = self._conn.execute(
+            "SELECT value FROM config WHERE key = ?", (_DEGRADED_KEY,)
+        ).fetchone()
+        return None if row is None else json.loads(row["value"])
+
+    def degraded(self) -> Optional[Dict[str, Any]]:
+        """The degrade flag: ``{"reason", "kind", "since"}`` or None."""
+        return self._degraded_locked()
+
+    def set_degraded(self, reason: str, kind: str = "disk") -> Dict[str, Any]:
+        """Flip the service into degrade mode (idempotent: an existing
+        flag keeps its ``since``)."""
+        with self._txn():
+            current = self._degraded_locked()
+            if current is not None:
+                return current
+            flag = {"reason": reason, "kind": kind, "since": time.time()}
+            self._conn.execute(
+                "INSERT INTO config (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (_DEGRADED_KEY, json.dumps(flag)),
+            )
+            return flag
+
+    def clear_degraded(self) -> bool:
+        """Lift degrade mode; returns whether it was set."""
+        with self._txn():
+            cursor = self._conn.execute(
+                "DELETE FROM config WHERE key = ?", (_DEGRADED_KEY,)
+            )
+            return cursor.rowcount > 0
+
+    # -- worker registry -----------------------------------------------
+    def register_worker(
+        self, worker_id: int, pid: Optional[int] = None
+    ) -> None:
+        pid = os.getpid() if pid is None else int(pid)
+        now = time.time()
+        with self._txn():
+            self._conn.execute(
+                "INSERT INTO workers (pid, worker_id, started_at, "
+                "last_heartbeat, jobs_run) VALUES (?, ?, ?, ?, 0) "
+                "ON CONFLICT(pid) DO UPDATE SET worker_id = "
+                "excluded.worker_id, started_at = excluded.started_at, "
+                "last_heartbeat = excluded.last_heartbeat, jobs_run = 0",
+                (pid, int(worker_id), now, now),
+            )
+
+    def worker_heartbeat(
+        self, jobs_run: Optional[int] = None, pid: Optional[int] = None
+    ) -> None:
+        pid = os.getpid() if pid is None else int(pid)
+        with self._txn():
+            if jobs_run is None:
+                self._conn.execute(
+                    "UPDATE workers SET last_heartbeat = ? WHERE pid = ?",
+                    (time.time(), pid),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE workers SET last_heartbeat = ?, jobs_run = ? "
+                    "WHERE pid = ?",
+                    (time.time(), int(jobs_run), pid),
+                )
 
     # -- introspection -------------------------------------------------
     def get(self, job_id: int) -> Dict[str, Any]:
@@ -547,7 +953,84 @@ class JobStore:
             "states": by_state,
             "queued_by_lane": by_lane,
             "depth": by_state["queued"],
+            "degraded": self.degraded(),
             "config": self.config(),
+        }
+
+    def tenant_stats(
+        self, tenant: Optional[str] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant rate metrics: job counts by outcome plus
+        queue-wait p50/p95 over jobs that reached a worker."""
+        clause, params = "", ()
+        if tenant is not None:
+            clause, params = " WHERE tenant = ?", (tenant,)
+        out: Dict[str, Dict[str, Any]] = {}
+        for row in self._conn.execute(
+            f"SELECT tenant, state, COUNT(*) AS n FROM jobs{clause} "
+            "GROUP BY tenant, state",
+            params,
+        ):
+            entry = out.setdefault(row["tenant"], {
+                "submitted": 0,
+                **{state: 0 for state in STATES},
+                "queue_wait_p50_seconds": None,
+                "queue_wait_p95_seconds": None,
+            })
+            entry[row["state"]] = int(row["n"])
+            entry["submitted"] += int(row["n"])
+        for name, entry in out.items():
+            waits = sorted(
+                float(row["started_at"]) - float(row["submitted_at"])
+                for row in self._conn.execute(
+                    "SELECT submitted_at, started_at FROM jobs "
+                    "WHERE tenant = ? AND started_at IS NOT NULL",
+                    (name,),
+                )
+            )
+            if waits:
+                entry["queue_wait_p50_seconds"] = _percentile(waits, 0.50)
+                entry["queue_wait_p95_seconds"] = _percentile(waits, 0.95)
+        return out
+
+    def health(self) -> Dict[str, Any]:
+        """One-call service health: queue depths per lane, worker
+        liveness and heartbeat age, degrade state, quarantine count."""
+        now = time.time()
+        stats = self.stats()
+        workers: List[Dict[str, Any]] = []
+        for row in self._conn.execute(
+            "SELECT pid, worker_id, started_at, last_heartbeat, "
+            "jobs_run FROM workers ORDER BY worker_id, pid"
+        ):
+            workers.append({
+                "worker_id": int(row["worker_id"]),
+                "pid": int(row["pid"]),
+                "alive": _pid_alive(int(row["pid"])),
+                "heartbeat_age_seconds": max(
+                    0.0, now - float(row["last_heartbeat"])
+                ),
+                "jobs_run": int(row["jobs_run"]),
+            })
+        oldest_wait: Dict[str, float] = {}
+        for row in self._conn.execute(
+            "SELECT lane, MIN(submitted_at) AS oldest FROM jobs "
+            "WHERE state = 'queued' GROUP BY lane"
+        ):
+            oldest_wait[lane_name(int(row["lane"]))] = max(
+                0.0, now - float(row["oldest"])
+            )
+        degraded = stats["degraded"]
+        return {
+            "ok": degraded is None,
+            "depth": stats["depth"],
+            "states": stats["states"],
+            "queued_by_lane": stats["queued_by_lane"],
+            "oldest_queued_wait_seconds": oldest_wait,
+            "workers": workers,
+            "workers_alive": sum(1 for w in workers if w["alive"]),
+            "degraded": degraded,
+            "quarantined": stats["states"]["quarantined"],
         }
 
     @staticmethod
@@ -578,6 +1061,15 @@ class _Transaction:
             self.conn.execute("COMMIT")
         else:
             self.conn.execute("ROLLBACK")
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_values:
+        raise ValueError("no values")
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
 
 
 def _pid_alive(pid: int) -> bool:

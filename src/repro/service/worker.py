@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import time
 import traceback
 from collections import OrderedDict
@@ -52,19 +53,35 @@ from ..observability import RunReport, Span
 from ..params import OutlierParams
 from ..recovery import run_checkpointed
 from ..recovery.checkpoint import dataset_fingerprint
+from ..recovery.diskguard import (
+    DiskPressureError,
+    is_disk_full,
+    maybe_inject_enospc,
+)
 from ..streaming import DMTPlanCache
-from .store import JobStore
+from .store import InvalidTransition, JobDeadlineExceeded, JobStore
 
 __all__ = ["ServiceWorker", "worker_main", "RESULT_FILE", "TRACE_FILE"]
 
 RESULT_FILE = "result.json"
 TRACE_FILE = "trace.jsonl"
 
+#: Chaos: when set, a submitted spec may carry ``chaos_kill_at_start``
+#: — the worker SIGKILLs itself the moment it picks the job up, before
+#: any journal progress.  That is a *poison job*: every retry dies the
+#: same way, so only the quarantine budget ends the crash loop.  Gated
+#: behind this env var so specs can never kill production workers.
+CHAOS_SPEC_ENV = "REPRO_CHAOS_ALLOW_SPEC"
+
 #: Bounded warm-plan memo: datasets come and go, the worker should not.
 _PLAN_MEMO_SLOTS = 8
 
 #: Seconds between claim attempts while the queue is empty.
 _IDLE_POLL_SECONDS = 0.05
+
+#: Seconds between worker-liveness heartbeats (the workers table the
+#: health surface reads) and between job-lease renewals mid-run.
+_HEARTBEAT_SECONDS = 1.0
 
 
 def _job_spec_defaults(spec: Dict[str, Any]) -> Dict[str, Any]:
@@ -136,6 +153,7 @@ class ServiceWorker:
         self.jobs_run = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        self.degraded_events = 0
 
     # -- warm state ----------------------------------------------------
     def _runtime(self, spec: Dict[str, Any]) -> LocalRuntime:
@@ -199,29 +217,103 @@ class ServiceWorker:
 
     # -- one job -------------------------------------------------------
     def run_job(self, job: Dict[str, Any]) -> str:
-        """Execute one claimed job to a terminal state; returns it."""
+        """Execute one claimed job to a terminal state; returns it.
+
+        Returns ``"lost"`` (not a job state) when the store refuses the
+        settle because ownership moved on — a clock-skewed lease expiry
+        re-queued the job under a live worker and someone else finished
+        it; the worker shrugs and claims the next job rather than dying
+        on :class:`InvalidTransition`.
+        """
         job_id = int(job["id"])
         job_dir = self.store.job_dir(job_id)
         os.makedirs(job_dir, exist_ok=True)
+        self._maybe_chaos_kill(job)
         try:
             report, trace = self._execute(job, job_dir)
+            # Artifacts land before the state flips: a job marked done
+            # always has its result.json (a kill in between re-runs the
+            # job, which the journal turns into a cheap resume).
+            _atomic_write_json(os.path.join(job_dir, RESULT_FILE), report)
+            trace.save(os.path.join(job_dir, TRACE_FILE))
         except Exception as exc:
-            error = f"{type(exc).__name__}: {exc}"
-            with open(os.path.join(job_dir, "error.txt"), "w") as f:
-                f.write(error + "\n\n" + traceback.format_exc())
-            return self.store.finish(
-                job_id, "failed", error=error, owner_pid=self.pid
+            return self._settle_failure(job, job_dir, exc)
+        try:
+            final = self.store.finish(
+                job_id, "done", result=report, owner_pid=self.pid
             )
-        # Artifacts land before the state flips: a job marked done always
-        # has its result.json (a kill in between re-runs the job, which
-        # the journal turns into a cheap resume).
-        _atomic_write_json(os.path.join(job_dir, RESULT_FILE), report)
-        trace.save(os.path.join(job_dir, TRACE_FILE))
-        final = self.store.finish(
-            job_id, "done", result=report, owner_pid=self.pid
-        )
+        except InvalidTransition:
+            return "lost"
         self.jobs_run += 1
         return final
+
+    def _maybe_chaos_kill(self, job: Dict[str, Any]) -> None:
+        if not os.environ.get(CHAOS_SPEC_ENV):
+            return
+        if job["spec"].get("chaos_kill_at_start"):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def _settle_failure(
+        self, job: Dict[str, Any], job_dir: str, exc: Exception
+    ) -> str:
+        """Map a job exception to its typed failure and settle it."""
+        job_id = int(job["id"])
+        error = f"{type(exc).__name__}: {exc}"
+        failure_kind = None
+        if isinstance(exc, JobDeadlineExceeded):
+            failure_kind = "deadline"
+        elif isinstance(exc, DiskPressureError):
+            failure_kind = "disk"
+            # Flip the whole service into degrade mode: new submissions
+            # are rejected with QueueFull(reason="disk") while anything
+            # already running finishes.  The WAL is intact — the journal
+            # truncated itself back to its committed prefix.
+            self.store.set_degraded(f"disk pressure: {exc}", kind="disk")
+            self.degraded_events += 1
+        try:
+            with open(os.path.join(job_dir, "error.txt"), "w") as f:
+                f.write(error + "\n\n" + traceback.format_exc())
+            if failure_kind == "disk":
+                self._degrade_trace(job, error).save(
+                    os.path.join(job_dir, TRACE_FILE)
+                )
+        except OSError:
+            pass  # the disk may genuinely be full; the row has the error
+        try:
+            return self.store.finish(
+                job_id, "failed", error=error, owner_pid=self.pid,
+                failure_kind=failure_kind,
+            )
+        except InvalidTransition:
+            return "lost"
+
+    def _degrade_trace(self, job: Dict[str, Any], error: str) -> RunReport:
+        """The ``service.degraded`` counter + span the ops runbook
+        greps for when the service flips into degrade mode."""
+        now = time.time()
+        root = Span(
+            name=f"service_job:{job['id']}", kind="run",
+            start=float(job["submitted_at"]), end=now,
+            attrs={
+                "job_id": int(job["id"]),
+                "tenant": job["tenant"],
+                "lane": job["lane_name"],
+                "degraded": True,
+                "error": error,
+            },
+        )
+        root.children.append(Span(
+            name="service.degraded", kind="event", start=now, end=now,
+            attrs={"reason": error},
+        ))
+        return RunReport(
+            meta={"job_id": int(job["id"]), "tenant": job["tenant"],
+                  "lane": job["lane_name"], "degraded": True},
+            counters={"service": {"degraded": 1}},
+            counter_totals={"service": 1},
+            phase_walls={},
+            trace=[root],
+        )
 
     def _execute(self, job: Dict[str, Any], job_dir: str):
         spec = _job_spec_defaults(job["spec"])
@@ -246,20 +338,55 @@ class ServiceWorker:
                 "fast" if job["lane_name"] == "interactive" else "exact"
             )
 
-        t0 = time.perf_counter()
-        result = run_checkpointed(
-            dataset, params, os.path.join(job_dir, "ckpt"),
-            strategy=spec["strategy"], detector=spec["detector"],
-            runtime=runtime, cluster=cluster,
-            n_partitions=sizing["n_partitions"],
-            n_reducers=sizing["n_reducers"],
-            seed=int(spec["seed"]), kernel=spec["kernel"],
-            metric=spec["metric"], tier=tier,
-            plan=cached.plan if plan_cache_hit else None,
-            manifest_extra={"job_id": int(job["id"]),
-                            "tenant": job["tenant"],
-                            "input": spec["input"]},
+        # Lease heartbeat + run-deadline check at every journal commit
+        # boundary: run_checkpointed chains this listener after its own
+        # commit hook, so a deadline abort never tears a record and a
+        # long job can't be mistaken for a dead worker's.
+        job_id = int(job["id"])
+        config = self.store.config()
+        run_deadline = JobStore.lane_deadline(
+            config, "run", job["lane_name"]
         )
+        deadline_at = (
+            None if run_deadline is None
+            else float(job["started_at"]) + run_deadline
+        )
+        last_beat = [0.0]
+
+        def _on_commit(phase: str, task_id, outputs) -> None:
+            now_t = time.time()
+            if now_t - last_beat[0] >= _HEARTBEAT_SECONDS:
+                self.store.heartbeat(job_id, owner_pid=self.pid)
+                self.store.worker_heartbeat(
+                    jobs_run=self.jobs_run, pid=self.pid
+                )
+                last_beat[0] = now_t
+            if deadline_at is not None and now_t > deadline_at:
+                raise JobDeadlineExceeded(
+                    f"job {job_id}: ran past lane "
+                    f"{job['lane_name']!r} run deadline "
+                    f"{run_deadline:g}s"
+                )
+
+        t0 = time.perf_counter()
+        prev_listener = runtime.commit_listener
+        runtime.commit_listener = _on_commit
+        try:
+            result = run_checkpointed(
+                dataset, params, os.path.join(job_dir, "ckpt"),
+                strategy=spec["strategy"], detector=spec["detector"],
+                runtime=runtime, cluster=cluster,
+                n_partitions=sizing["n_partitions"],
+                n_reducers=sizing["n_reducers"],
+                seed=int(spec["seed"]), kernel=spec["kernel"],
+                metric=spec["metric"], tier=tier,
+                plan=cached.plan if plan_cache_hit else None,
+                manifest_extra={"job_id": int(job["id"]),
+                                "tenant": job["tenant"],
+                                "input": spec["input"]},
+            )
+        finally:
+            runtime.commit_listener = prev_listener
         run_seconds = time.perf_counter() - t0
         if plan_cache_hit:
             self.plan_hits += 1
@@ -281,6 +408,15 @@ class ServiceWorker:
             "plan_cache_hits" if plan_cache_hit
             else "plan_cache_misses",
         )
+        # Per-tenant rate metric: the counter group carries which
+        # tenant this completion belongs to, so traces/bench can
+        # aggregate rates without re-reading the store.
+        counters.incr(
+            "service", f"tenant_jobs_done:{job['tenant']}"
+        )
+        degraded = self.store.degraded() is not None
+        if degraded:
+            counters.incr("service", "degraded")
 
         report = {
             "job_id": int(job["id"]),
@@ -299,6 +435,7 @@ class ServiceWorker:
             "queue_wait_seconds": queue_wait,
             "run_seconds": run_seconds,
             "worker_pid": self.pid,
+            "degraded": degraded,
             "tier": result.tier,
             "recovery": counters.group("recovery"),
             "service": counters.group("service"),
@@ -326,6 +463,7 @@ class ServiceWorker:
                 "plan_cache_hit": report["plan_cache_hit"],
                 "resumed": report["resumed"],
                 "tier": report["tier"],
+                "degraded": report["degraded"],
             },
         )
         wait_span = Span(
@@ -380,7 +518,15 @@ class ServiceWorker:
         Returns the number of jobs run.
         """
         ran = 0
+        self.store.register_worker(self.worker_id, pid=self.pid)
+        last_beat = 0.0
         while True:
+            now = time.time()
+            if now - last_beat >= _HEARTBEAT_SECONDS:
+                self.store.worker_heartbeat(
+                    jobs_run=self.jobs_run, pid=self.pid
+                )
+                last_beat = now
             if max_jobs is not None and ran >= max_jobs:
                 return ran
             if parent_pid is not None and os.getppid() != parent_pid:
@@ -410,9 +556,19 @@ def worker_main(
 
 
 def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    maybe_inject_enospc("result", path)
     tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w") as f:
-        json.dump(payload, f, indent=2)
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        if is_disk_full(exc):
+            raise DiskPressureError(path, "enospc", str(exc)) from exc
+        raise

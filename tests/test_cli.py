@@ -268,6 +268,27 @@ class TestInputHardening:
         assert report["rows_quarantined"] == 2
         assert report["n_points"] == 6
 
+    def test_quarantine_counter_resets_per_command(self, tmp_path):
+        # Embedders (and tests) invoke command functions directly,
+        # bypassing main(): the module-level counter must be zeroed at
+        # command entry, not only in main(), or repeated in-process
+        # invocations over-report rows_quarantined.
+        import repro.cli as cli_module
+
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "1,2\n3,nan\n1.5,2.5\n4,5\ninf,6\n1,1\n2,2\n9,9\n"
+        )
+        quarantine = tmp_path / "quarantine.csv"
+        out = tmp_path / "report.json"
+        args = cli_module.build_parser().parse_args([
+            "detect", str(path), "-r", "2.0", "-k", "2",
+            "--quarantine-out", str(quarantine), "-o", str(out),
+        ])
+        cli_module._last_quarantined = 99  # stale prior-run state
+        assert args.func(args) == 0
+        assert json.loads(out.read_text())["rows_quarantined"] == 2
+
     def test_missing_input_is_clean_error(self, tmp_path, capsys):
         code = main([
             "detect", str(tmp_path / "nope.csv"), "-r", "1", "-k", "1",
@@ -281,6 +302,84 @@ class TestInputHardening:
         code = main(["detect", str(path), "-r", "1", "-k", "1"])
         assert code == 2
         assert "could not read" in capsys.readouterr().err
+
+
+class TestServiceOpsCLI:
+    """The no-daemon ops commands: health, gc, status --tenant."""
+
+    def test_health_on_fresh_spool(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["health", "--spool", spool]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["depth"] == 0
+        assert payload["workers"] == []
+        assert payload["quarantined"] == 0
+
+    def test_health_exits_3_when_degraded(self, tmp_path, capsys):
+        from repro.service import JobStore
+
+        spool = str(tmp_path / "spool")
+        with JobStore(spool) as store:
+            store.set_degraded("disk probe tripped")
+        assert main(["health", "--spool", spool]) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["degraded"]["reason"] == "disk probe tripped"
+
+    def test_gc_requires_a_ttl(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["gc", "--spool", spool]) == 2
+        assert "no retention TTL" in capsys.readouterr().err
+
+    def test_gc_reaps_and_status_reports_expired(
+        self, tmp_path, capsys
+    ):
+        from repro.service import JobStore
+
+        spool = str(tmp_path / "spool")
+        with JobStore(spool) as store:
+            job_id = store.submit({"input": "x.csv", "r": 1.0, "k": 2})
+            store.claim()
+            store.finish(job_id, "done", result={"ok": 1})
+        assert main(["gc", "--spool", spool, "--ttl", "0"]) == 0
+        out = capsys.readouterr().out
+        assert f"reaped job {job_id}" in out
+        assert main(["status", str(job_id), "--spool", spool]) == 0
+        view = json.loads(capsys.readouterr().out)
+        assert view["state"] == "expired"
+        assert view["failure_kind"] == "expired"
+
+    def test_status_tenant_renders_rates(self, tmp_path, capsys):
+        from repro.service import JobStore
+
+        spool = str(tmp_path / "spool")
+        with JobStore(spool) as store:
+            store.submit(
+                {"input": "x.csv", "r": 1.0, "k": 2}, tenant="acme"
+            )
+        assert main(["status", "--tenant", "acme",
+                     "--spool", spool]) == 0
+        rates = json.loads(capsys.readouterr().out)
+        assert rates["acme"]["submitted"] == 1
+        assert rates["acme"]["queued"] == 1
+
+    def test_status_tenant_conflicts_with_job_id(
+        self, tmp_path, capsys
+    ):
+        spool = str(tmp_path / "spool")
+        code = main(["status", "1", "--tenant", "acme",
+                     "--spool", spool])
+        assert code == 2
+        assert "drop the job id" in capsys.readouterr().err
+
+    def test_status_unknown_tenant_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        spool = str(tmp_path / "spool")
+        assert main(["status", "--tenant", "ghost",
+                     "--spool", spool]) == 2
+        assert "no jobs" in capsys.readouterr().err
 
 
 class TestRecoveryCLI:

@@ -24,8 +24,11 @@ from repro.core import Dataset, detect_outliers
 from repro.observability import RunReport
 from repro.params import OutlierParams
 from repro.service import (
+    JobDeadlineExceeded,
+    JobExpired,
     JobFailed,
     JobStore,
+    QueueFull,
     ServiceClient,
     ServiceWorker,
 )
@@ -191,6 +194,147 @@ class TestWorkerInProcess:
             worker = ServiceWorker(spool)
             worker.run_forever(drain=True)
         assert len(worker._runtimes) == 1  # one (nodes,workers,transport)
+
+
+# ----------------------------------------------------------------------
+# In-process: the self-healing layer (deadlines, gc, degrade, health)
+# ----------------------------------------------------------------------
+class TestSelfHealingInProcess:
+    def test_health_and_tenant_stats_after_drain(
+        self, spool, points_csv
+    ):
+        with ServiceClient(spool) as client:
+            _submit(client, points_csv, tenant="acme")
+            worker = ServiceWorker(spool, worker_id=7)
+            assert worker.run_forever(drain=True) == 1
+            health = client.health()
+            stats = client.tenant_stats("acme")
+        assert health["ok"] is True
+        assert health["quarantined"] == 0
+        assert health["workers_alive"] == 1  # this very process
+        (row,) = health["workers"]
+        assert row["worker_id"] == 7 and row["pid"] == os.getpid()
+        assert row["alive"] is True
+        assert row["heartbeat_age_seconds"] >= 0.0
+        assert stats["acme"]["submitted"] == 1
+        assert stats["acme"]["done"] == 1
+        assert stats["acme"]["queue_wait_p50_seconds"] >= 0.0
+        assert stats["acme"]["queue_wait_p95_seconds"] >= 0.0
+
+    def test_run_deadline_fails_job_with_typed_error(
+        self, spool, points_csv
+    ):
+        with ServiceClient(spool) as client:
+            client.store.configure(run_deadline_batch=1e-4)
+            job_id = _submit(client, points_csv)
+            # The worker aborts at its first commit boundary past the
+            # deadline: the job settles failed/deadline, not the worker.
+            assert ServiceWorker(spool).run_forever(drain=True) == 1
+            with pytest.raises(JobDeadlineExceeded,
+                               match="run deadline"):
+                client.result(job_id, timeout=5.0)
+            status = client.status(job_id)
+        assert status["state"] == "failed"
+        assert status["failure_kind"] == "deadline"
+
+    def test_queue_deadline_fails_job_before_it_runs(
+        self, spool, points_csv
+    ):
+        import time as _time
+
+        with ServiceClient(spool) as client:
+            client.store.configure(queue_deadline_batch=1e-6)
+            job_id = _submit(client, points_csv)
+            _time.sleep(0.01)
+            # The claim itself expires the stale job; nothing runs.
+            assert ServiceWorker(spool).run_forever(drain=True) == 0
+            with pytest.raises(JobDeadlineExceeded,
+                               match="queue deadline"):
+                client.result(job_id, timeout=5.0)
+
+    def test_ttl_gc_makes_results_expire(self, spool, points_csv):
+        import time as _time
+
+        with ServiceClient(spool) as client:
+            job_id = _submit(client, points_csv)
+            ServiceWorker(spool).run_forever(drain=True)
+            assert client.result(job_id, timeout=5.0)[
+                "outliers"] == ORACLE
+            job_dir = client.store.job_dir(job_id)
+            assert os.path.isdir(job_dir)  # ckpt + result artifacts
+            swept = client.store.sweep_expired(
+                ttl_seconds=0.0, now=_time.time() + 1.0
+            )
+            assert swept == [job_id]
+            assert not os.path.isdir(job_dir)
+            with pytest.raises(JobExpired, match="reaped after ttl"):
+                client.result(job_id, timeout=5.0)
+            assert client.status(job_id)["state"] == "expired"
+
+    def test_enospc_degrades_service_without_corruption(
+        self, spool, points_csv, monkeypatch
+    ):
+        from repro.recovery import ENOSPC_AFTER_ENV
+
+        monkeypatch.setenv(ENOSPC_AFTER_ENV, "2")
+        with ServiceClient(spool) as client:
+            job_id = _submit(client, points_csv)
+            worker = ServiceWorker(spool)
+            worker.run_forever(drain=True)
+            assert worker.degraded_events == 1
+            status = client.status(job_id)
+            assert status["state"] == "failed"
+            assert status["failure_kind"] == "disk"
+            assert "DiskPressureError" in status["error"]
+            # The whole service is degraded: health says so and new
+            # submissions bounce with typed backpressure.
+            assert client.health()["ok"] is False
+            with pytest.raises(QueueFull) as excinfo:
+                _submit(client, points_csv)
+            assert excinfo.value.reason == "disk"
+            # The ops trail: a service.degraded span + counter.
+            trace = RunReport.load(client.trace_path(job_id))
+            assert trace.counters["service"]["degraded"] == 1
+            assert trace.trace[0].children[0].name == "service.degraded"
+            # The journal truncated itself to its committed prefix —
+            # every surviving record is a complete line.
+            ckpt = os.path.join(client.store.job_dir(job_id), "ckpt")
+            journals = [
+                os.path.join(root, name)
+                for root, _, names in os.walk(ckpt)
+                for name in names if name.endswith(".jsonl")
+            ]
+            for path in journals:
+                with open(path) as f:
+                    for line in f:
+                        json.loads(line)
+            # Recovery: fault gone, degrade lifted, service heals.
+            monkeypatch.delenv(ENOSPC_AFTER_ENV)
+            client.store.clear_degraded()
+            retry = _submit(client, points_csv)
+            worker.run_forever(drain=True)
+            assert client.result(retry, timeout=5.0)[
+                "outliers"] == ORACLE
+
+    def test_lost_ownership_is_shrugged_off(self, spool, points_csv):
+        with ServiceClient(spool) as client:
+            job_id = _submit(client, points_csv)
+            worker = ServiceWorker(spool)
+            job = worker.store.claim(owner_pid=worker.pid)
+            assert job["id"] == job_id
+            # A clock-skewed sweep declares the lease dead, re-queues
+            # the job, and another worker settles it first.
+            client.store.requeue_orphans(is_alive=lambda pid: False)
+            stolen = client.store.claim(owner_pid=worker.pid + 1)
+            assert stolen["id"] == job_id
+            client.store.finish(
+                job_id, "failed", error="settled elsewhere",
+                owner_pid=worker.pid + 1,
+            )
+            # The original worker finishes its (now moot) run and must
+            # not die on InvalidTransition — it reports "lost".
+            assert worker.run_job(job) == "lost"
+            assert client.status(job_id)["state"] == "failed"
 
 
 # ----------------------------------------------------------------------

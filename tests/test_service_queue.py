@@ -9,7 +9,9 @@ orphan-requeue and checks it against an in-memory model on every step:
 * dispatch obeys priority + FIFO-within-lane, and the starvation
   boost bounds how long a non-empty lane can be passed over;
 * admission control (queue depth, per-tenant in-flight quota) rejects
-  with typed errors exactly when the model says it must.
+  with typed errors exactly when the model says it must — including
+  while orphan re-adoption has pushed the depth past the bound;
+* retry budgets quarantine poison jobs exactly at ``max_attempts``.
 
 Everything here runs in-process (no worker subprocesses), so it stays
 in tier-1.
@@ -18,6 +20,7 @@ in tier-1.
 import os
 import shutil
 import tempfile
+import time
 
 import pytest
 from hypothesis import stateful
@@ -110,7 +113,8 @@ class TestDispatchOrder:
         first = store.submit(SPEC, lane="batch")
         second = store.submit(SPEC, lane="batch")
         assert store.claim()["id"] == first
-        assert store.requeue_orphans(is_alive=lambda pid: False) == [first]
+        report = store.requeue_orphans(is_alive=lambda pid: False)
+        assert report == {"requeued": [first], "quarantined": []}
         job = store.get(first)
         assert job["state"] == "queued" and job["started_at"] is None
         # Original id ==> original FIFO slot: first again beats second.
@@ -183,12 +187,235 @@ class TestLeases:
         job = store.submit(SPEC)
         store.claim(owner_pid=os.getpid())
         deadline = store.get(job)["lease_deadline"]
-        assert store.requeue_orphans(now=deadline + 1.0) == [job]
+        report = store.requeue_orphans(now=deadline + 1.0)
+        assert report["requeued"] == [job]
 
     def test_live_lease_and_pid_is_not_orphaned(self, store):
         store.submit(SPEC)
         store.claim(owner_pid=os.getpid())
-        assert store.requeue_orphans() == []
+        assert store.requeue_orphans() == {
+            "requeued": [], "quarantined": [],
+        }
+
+
+class TestOvershoot:
+    def test_admission_rejects_during_orphan_overshoot(self, store):
+        # Re-adoption must never drop a durable job, so orphans are
+        # re-queued even past max_depth — but submits stay gated.
+        store.configure(max_depth=2)
+        a, b = store.submit(SPEC), store.submit(SPEC)
+        assert store.claim(owner_pid=1234)["id"] == a
+        assert store.claim(owner_pid=1234)["id"] == b
+        c, d = store.submit(SPEC), store.submit(SPEC)  # bound again
+        report = store.requeue_orphans(is_alive=lambda pid: False)
+        assert report["requeued"] == [a, b]
+        assert store.depth() == 4  # overshoot: 4 queued > bound 2
+        with pytest.raises(QueueFull) as excinfo:
+            store.submit(SPEC)
+        assert excinfo.value.depth == 4
+        assert excinfo.value.bound == 2
+        # Every durable job is still claimable, original FIFO order.
+        assert [store.claim()["id"] for _ in range(4)] == [a, b, c, d]
+        assert store.claim() is None
+
+
+class TestQuarantine:
+    def test_poison_job_quarantined_at_budget(self, store):
+        store.configure(max_attempts=2)
+        job = store.submit(SPEC)
+        assert store.claim(owner_pid=1234)["id"] == job  # attempt 1
+        report = store.requeue_orphans(is_alive=lambda pid: False)
+        assert report == {"requeued": [job], "quarantined": []}
+        assert store.claim(owner_pid=1234)["id"] == job  # attempt 2
+        report = store.requeue_orphans(is_alive=lambda pid: False)
+        assert report == {"requeued": [], "quarantined": [job]}
+        row = store.get(job)
+        assert row["state"] == "quarantined"
+        assert row["failure_kind"] == "quarantine"
+        assert "post-mortem" in row["error"]
+        assert store.job_dir(job) in row["error"]
+
+    def test_quarantined_is_terminal(self, store):
+        store.configure(max_attempts=1)
+        job = store.submit(SPEC)
+        store.claim(owner_pid=1234)
+        store.requeue_orphans(is_alive=lambda pid: False)
+        assert store.get(job)["state"] == "quarantined"
+        assert store.claim() is None
+        assert store.cancel(job) == "quarantined"  # idempotent no-op
+        with pytest.raises(InvalidTransition):
+            store.finish(job, "done")
+
+    def test_zero_budget_disables_quarantine(self, store):
+        store.configure(max_attempts=0)
+        job = store.submit(SPEC)
+        for _ in range(5):
+            assert store.claim(owner_pid=1234)["id"] == job
+            report = store.requeue_orphans(is_alive=lambda pid: False)
+            assert report == {"requeued": [job], "quarantined": []}
+
+
+class TestRequeueBackoff:
+    def test_backoff_holds_then_releases(self, store):
+        store.configure(requeue_backoff=10.0)
+        job = store.submit(SPEC)
+        t0 = time.time()
+        assert store.claim(owner_pid=1234)["id"] == job
+        report = store.requeue_orphans(
+            is_alive=lambda pid: False, now=t0
+        )
+        assert report["requeued"] == [job]
+        assert store.claim(now=t0 + 5.0) is None  # held down
+        assert store.claim(now=t0 + 10.0, owner_pid=1234)["id"] == job
+
+    def test_backoff_doubles_per_attempt(self, store):
+        store.configure(requeue_backoff=10.0)
+        job = store.submit(SPEC)
+        t0 = time.time()
+        store.claim(owner_pid=1234)                       # attempt 1
+        store.requeue_orphans(is_alive=lambda pid: False, now=t0)
+        store.claim(now=t0 + 10.0, owner_pid=1234)        # attempt 2
+        store.requeue_orphans(
+            is_alive=lambda pid: False, now=t0 + 10.0
+        )
+        # Second hold is 10 * 2**(2-1) = 20s from the requeue.
+        assert store.claim(now=t0 + 25.0) is None
+        assert store.claim(now=t0 + 30.0)["id"] == job
+
+
+class TestDeadlines:
+    def test_queue_deadline_fails_stale_jobs(self, store):
+        store.configure(queue_deadline_batch=5.0)
+        job = store.submit(SPEC, lane="batch")
+        assert store.claim(now=time.time() + 6.0) is None
+        row = store.get(job)
+        assert row["state"] == "failed"
+        assert row["failure_kind"] == "deadline"
+        assert "queue deadline" in row["error"]
+
+    def test_queue_deadline_zero_disables(self, store):
+        store.configure(queue_deadline_batch=0.0)
+        job = store.submit(SPEC, lane="batch")
+        claimed = store.claim(now=time.time() + 1e6)
+        assert claimed is not None and claimed["id"] == job
+
+    def test_run_deadline_marks_and_settle_honors_it(self, store):
+        store.configure(run_deadline_batch=5.0)
+        job = store.submit(SPEC, lane="batch")
+        store.claim(owner_pid=os.getpid())
+        out = store.expire_deadlines(now=time.time() + 6.0)
+        assert out["run"] == [job]
+        row = store.get(job)
+        # Cooperative: still running, but marked for settlement.
+        assert row["state"] == "running"
+        assert row["cancel_requested"]
+        assert row["failure_kind"] == "deadline"
+        assert store.finish(job, "done", result={"ok": 1}) == "cancelled"
+        final = store.get(job)
+        assert final["failure_kind"] == "deadline"
+        assert "run deadline" in final["error"]
+        assert final["result"] is None
+
+
+class TestTtlSweep:
+    def _settle_one(self, store, state="done"):
+        job = store.submit(SPEC)
+        store.claim()
+        store.finish(
+            job, state,
+            result={"ok": 1} if state == "done" else None,
+            error=None if state == "done" else "boom",
+        )
+        return job
+
+    def test_never_reaps_unsettled(self, store):
+        store.submit(SPEC)  # stays queued
+        store.submit(SPEC)
+        store.claim()  # first job now running
+        swept = store.sweep_expired(
+            ttl_seconds=0.0, now=time.time() + 1e6
+        )
+        assert swept == []
+
+    def test_tombstone_then_reap(self, store):
+        job = self._settle_one(store)
+        job_dir = store.job_dir(job)
+        os.makedirs(job_dir, exist_ok=True)
+        swept = store.sweep_expired(
+            ttl_seconds=0.0, now=time.time() + 1.0
+        )
+        assert swept == [job]
+        row = store.get(job)
+        assert row["state"] == "expired"
+        assert row["result"] is None
+        assert row["failure_kind"] == "expired"
+        assert "reaped after ttl" in row["error"]
+        assert not os.path.isdir(job_dir)
+
+    def test_dry_run_changes_nothing(self, store):
+        job = self._settle_one(store)
+        job_dir = store.job_dir(job)
+        os.makedirs(job_dir, exist_ok=True)
+        swept = store.sweep_expired(
+            ttl_seconds=0.0, now=time.time() + 1.0, dry_run=True
+        )
+        assert swept == [job]
+        assert store.get(job)["state"] == "done"
+        assert os.path.isdir(job_dir)
+
+    def test_young_jobs_survive(self, store):
+        self._settle_one(store)
+        assert store.sweep_expired(ttl_seconds=3600.0) == []
+
+    def test_no_ttl_configured_is_noop(self, store):
+        self._settle_one(store)
+        assert store.sweep_expired(now=time.time() + 1e9) == []
+
+    def test_quarantined_kept_unless_included(self, store):
+        store.configure(max_attempts=1)
+        job = store.submit(SPEC)
+        store.claim(owner_pid=1234)
+        store.requeue_orphans(is_alive=lambda pid: False)
+        assert store.get(job)["state"] == "quarantined"
+        later = time.time() + 1.0
+        assert store.sweep_expired(ttl_seconds=0.0, now=later) == []
+        swept = store.sweep_expired(
+            ttl_seconds=0.0, now=later, include_quarantined=True
+        )
+        assert swept == [job]
+        assert store.get(job)["state"] == "expired"
+
+
+class TestDegrade:
+    def test_submit_rejected_while_degraded(self, store):
+        store.set_degraded("free disk 1 bytes < low watermark 2")
+        with pytest.raises(QueueFull) as excinfo:
+            store.submit(SPEC)
+        assert excinfo.value.reason == "disk"
+        assert store.depth() == 0
+        assert store.clear_degraded() is True
+        store.submit(SPEC)  # admission restored
+
+    def test_set_degraded_is_idempotent(self, store):
+        first = store.set_degraded("one")
+        second = store.set_degraded("two")
+        assert second == first  # keeps reason and since
+        assert store.degraded()["reason"] == "one"
+
+    def test_health_reports_degrade_and_quarantine(self, store):
+        store.configure(max_attempts=1)
+        job = store.submit(SPEC)
+        store.claim(owner_pid=1234)
+        store.requeue_orphans(is_alive=lambda pid: False)
+        health = store.health()
+        assert health["ok"] is True
+        assert health["quarantined"] == 1
+        assert health["states"]["quarantined"] == 1
+        store.set_degraded("probe")
+        health = store.health()
+        assert health["ok"] is False
+        assert health["degraded"]["reason"] == "probe"
+        assert job in [j["id"] for j in store.jobs()]
 
 
 def test_lane_helpers_roundtrip():
@@ -206,6 +433,8 @@ def test_lane_helpers_roundtrip():
 MAX_DEPTH = 5
 TENANT_QUOTA = 3
 BOOST_AFTER = 2
+#: Small retry budget so the machine actually reaches quarantine.
+MACHINE_MAX_ATTEMPTS = 3
 TENANTS = ("t0", "t1")
 
 lanes_st = st.sampled_from(sorted(LANES))
@@ -229,13 +458,18 @@ class QueueMachine(stateful.RuleBasedStateMachine):
             max_depth=MAX_DEPTH,
             tenant_max_inflight=TENANT_QUOTA,
             boost_after=BOOST_AFTER,
+            max_attempts=MACHINE_MAX_ATTEMPTS,
+            requeue_backoff=0.0,
         )
-        # Model: id -> {tenant, lane, state, cancel_requested}
+        # Model: id -> {tenant, lane, state, cancel_requested, attempts}
         self.jobs = {}
         self.credits = {}
         # lane -> consecutive pass-overs observed while non-empty;
         # the starvation bound asserts on this, not on the credits.
         self.observed_passovers = {}
+        # Times orphan re-adoption pushed queued depth past max_depth
+        # (submits must keep rejecting through every one of them).
+        self.depth_overshoots = 0
 
     def teardown(self):
         self.store.close()
@@ -299,6 +533,7 @@ class QueueMachine(stateful.RuleBasedStateMachine):
                 "lane": lane_priority(lane),
                 "state": "queued",
                 "cancel_requested": False,
+                "attempts": 0,
             }
 
     @stateful.rule()
@@ -311,6 +546,7 @@ class QueueMachine(stateful.RuleBasedStateMachine):
         assert claimed["id"] == expected
         job = self.jobs[expected]
         job["state"] = "running"
+        job["attempts"] += 1
         # Starvation accounting: the chosen lane's streak resets,
         # every other lane that had queued work was passed over once.
         self.observed_passovers[job["lane"]] = 0
@@ -369,16 +605,30 @@ class QueueMachine(stateful.RuleBasedStateMachine):
 
     @stateful.rule()
     def requeue_orphans(self):
-        # Declare every running worker dead: all running jobs must
-        # return to queued, keeping their ids (= lane-front FIFO slot).
+        # Declare every running worker dead: running jobs below the
+        # retry budget return to queued keeping their ids (= lane-front
+        # FIFO slot); jobs at the budget quarantine instead.
         running = sorted(
             job_id for job_id, job in self.jobs.items()
             if job["state"] == "running"
         )
-        adopted = self.store.requeue_orphans(is_alive=lambda pid: False)
-        assert sorted(adopted) == running
-        for job_id in running:
+        expect_quarantined = [
+            job_id for job_id in running
+            if self.jobs[job_id]["attempts"] >= MACHINE_MAX_ATTEMPTS
+        ]
+        expect_requeued = [
+            job_id for job_id in running
+            if job_id not in expect_quarantined
+        ]
+        report = self.store.requeue_orphans(is_alive=lambda pid: False)
+        assert sorted(report["requeued"]) == expect_requeued
+        assert sorted(report["quarantined"]) == expect_quarantined
+        for job_id in expect_requeued:
             self.jobs[job_id]["state"] = "queued"
+        for job_id in expect_quarantined:
+            self.jobs[job_id]["state"] = "quarantined"
+        if len(self._queued()) > MAX_DEPTH:
+            self.depth_overshoots += 1
 
     # -- invariants ----------------------------------------------------
     @stateful.invariant()
@@ -391,6 +641,7 @@ class QueueMachine(stateful.RuleBasedStateMachine):
             assert row["tenant"] == model["tenant"]
             assert row["lane"] == model["lane"]
             assert row["cancel_requested"] == model["cancel_requested"]
+            assert row["attempts"] == model["attempts"]
         assert self.store.depth() == len(self._queued())
 
     @stateful.invariant()
